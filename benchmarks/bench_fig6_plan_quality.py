@@ -1,0 +1,47 @@
+"""Figure 6 (Experiment 2): quality of full-search vs greedy f-plans.
+
+For input f-trees produced by K-equality queries (R = 4, A = 10) and
+follow-up queries of L equalities, compares the f-plan cost ``s(f)``
+and the result f-tree cost ``s(T)`` of both optimisers.
+
+Expected shapes (paper): greedy is optimal or near-optimal in most
+cases, with exceptions at small K / large L; all average plan costs
+lie between 1 and 2; for small L the plan cost is dominated by the
+final tree, for large L by the intermediate trees.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit, full_scale
+from repro.experiments import exp2, format_table
+from repro.experiments.exp2 import run_experiment2
+
+
+def _params():
+    if full_scale():
+        return dict(
+            k_values=tuple(range(1, 9)),
+            l_values=tuple(range(1, 7)),
+            repeats=3,
+        )
+    return dict(k_values=(1, 3, 5, 7), l_values=(1, 2, 3), repeats=2)
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_plan_quality(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_experiment2(**_params()), rounds=1, iterations=1
+    )
+    emit(
+        "Figure 6: f-plan / result f-tree costs, full vs greedy",
+        format_table(exp2.headers(), exp2.as_cells(rows)),
+    )
+    for row in rows:
+        # Full search is optimal: never worse than greedy.
+        assert row.full_plan_cost <= row.greedy_plan_cost + 1e-9
+        # Paper: average plan costs stay within [1, 2].
+        assert 1.0 <= row.full_plan_cost <= 2.5
+        # The final tree can never cost more than the whole plan.
+        assert row.full_result_cost <= row.full_plan_cost + 1e-9

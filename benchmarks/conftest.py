@@ -1,0 +1,28 @@
+"""Shared configuration for the figure benchmarks.
+
+Every benchmark regenerates one figure of Section 5 and prints the
+series it plots (run pytest with ``-s`` to see the tables).  Default
+parameters are laptop-scale; set ``FDB_BENCH_FULL=1`` for sweeps close
+to the paper's (long runtimes in pure Python).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    return os.environ.get("FDB_BENCH_FULL", "") not in ("", "0")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return "full" if full_scale() else "default"
+
+
+def emit(title: str, table: str) -> None:
+    print()
+    print(f"=== {title} ===")
+    print(table)

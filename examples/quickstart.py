@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's grocery retailer, end to end.
+
+Reproduces Examples 1 and 2 of the paper on the Figure 1 database:
+
+1. evaluate Q1 (orders x stock x dispatchers) into a factorised
+   result and print the factorisation;
+2. restructure it with the swap operator (T1 -> T2);
+3. evaluate Q2 (producers x served locations), restructure T3 -> T4;
+4. join the two *factorised* results on item and location (Example 2),
+   letting the optimiser pick the f-plan.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FDB, Query, RelationalEngine
+from repro.ops import product, swap
+from repro.workloads import (
+    grocery_database,
+    query_q1,
+    query_q2,
+    tree_t1,
+)
+
+
+def main() -> None:
+    db = grocery_database()
+    fdb = FDB(db)
+
+    # -- Example 1: Q1 over T1 ------------------------------------------
+    q1 = query_q1()
+    print(f"Q1: {q1}")
+    # Factorise over the paper's T1 (items on top); the optimiser's own
+    # choice (location on top, i.e. T2) has the same cost s = 2.
+    result_q1 = fdb.factorise_query(q1, tree_t1())
+    print("f-tree T1:")
+    print(result_q1.tree.pretty())
+    print(f"factorised size: {result_q1.size()} singletons, "
+          f"{result_q1.count()} tuples "
+          f"({result_q1.flat_data_elements()} flat values)")
+    print("factorisation:")
+    print(" ", result_q1.pretty())
+    print()
+
+    # Flat evaluation gives the same relation.
+    flat = RelationalEngine(db).evaluate(q1)
+    assert result_q1.equals_flat(flat)
+    print(f"RDB agrees: {len(flat)} tuples, "
+          f"{len(flat) * flat.schema.arity} values stored flat")
+    print()
+
+    # -- Example 1 continued: restructure T1 -> T2 ----------------------
+    regrouped = swap(result_q1, "o_item", "s_location")
+    print("after swap(item, location)  [T1 -> T2]:")
+    print(" ", regrouped.pretty())
+    assert regrouped.same_relation(result_q1)
+    print()
+
+    # -- Q2 over T3, restructured to T4 ---------------------------------
+    q2 = query_q2()
+    print(f"Q2: {q2}")
+    result_q2 = fdb.evaluate(q2)
+    print("optimal f-tree (s=1, linear-size factorisation):")
+    print(result_q2.tree.pretty())
+    print(" ", result_q2.pretty())
+    by_item = swap(result_q2, "p_supplier", "p_item")
+    print("regrouped by item  [T3 -> T4]:")
+    print(" ", by_item.pretty())
+    print()
+
+    # -- Example 2: join the two factorised results ---------------------
+    joined = product(result_q1, result_q2)
+    followup = Query.make(
+        [],
+        equalities=[
+            ("o_item", "p_item"),
+            ("s_location", "v_location"),
+        ],
+    )
+    result, plan = fdb.evaluate_on(joined, followup)
+    print("Example 2: Q1 JOIN Q2 on item and location")
+    print(f"f-plan chosen by the optimiser: {plan}")
+    print(f"plan cost: {plan.cost}")
+    print("result f-tree [T6]:")
+    print(result.tree.pretty())
+    print(f"result: {result.count()} tuples in "
+          f"{result.size()} singletons")
+    for row in result:
+        print("  ", {k: row[k] for k in sorted(row)})
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Many-to-many supply chains: where factorisation wins big.
+
+The paper's motivating scenario is data with many-to-many
+relationships, whose join results explode quadratically (or worse)
+while their factorisations stay near-linear.  This example builds a
+synthetic but realistic supply chain --
+
+    Suppliers --supplies--> Parts --used_in--> Products
+                                   --stocked_at--> Warehouses
+
+-- and contrasts FDB with the flat engines on the full join, then
+drills into the result with follow-up queries evaluated *directly on
+the factorised representation*.
+
+Run:  python examples/supply_chain.py
+"""
+
+import random
+import time
+
+from repro import FDB, Database, Query, RelationalEngine
+from repro.costs import s_tree
+
+
+def build_supply_chain(
+    suppliers: int = 40,
+    parts: int = 60,
+    products: int = 30,
+    warehouses: int = 12,
+    fanout: int = 6,
+    seed: int = 7,
+) -> Database:
+    """A four-relation many-to-many schema with controlled fan-out."""
+    rng = random.Random(seed)
+    db = Database()
+    db.add_rows(
+        "Supplies",
+        ("sup_id", "sup_part"),
+        [
+            (s, rng.randrange(parts))
+            for s in range(suppliers)
+            for _ in range(fanout)
+        ],
+    )
+    db.add_rows(
+        "UsedIn",
+        ("ui_part", "ui_product"),
+        [
+            (p, rng.randrange(products))
+            for p in range(parts)
+            for _ in range(fanout)
+        ],
+    )
+    db.add_rows(
+        "StockedAt",
+        ("st_part", "st_warehouse"),
+        [
+            (p, rng.randrange(warehouses))
+            for p in range(parts)
+            for _ in range(fanout // 2)
+        ],
+    )
+    return db
+
+
+def main() -> None:
+    db = build_supply_chain()
+    print("supply chain database:")
+    for relation in db:
+        print(f"  {relation.name}: {relation.cardinality} rows")
+    print()
+
+    query = Query.make(
+        ["Supplies", "UsedIn", "StockedAt"],
+        equalities=[("sup_part", "ui_part"), ("ui_part", "st_part")],
+    )
+    print(f"query: {query}")
+
+    # Flat evaluation (RDB).
+    start = time.perf_counter()
+    flat = RelationalEngine(db).evaluate(query)
+    rdb_time = time.perf_counter() - start
+    flat_values = len(flat) * flat.schema.arity
+    print(f"RDB:  {len(flat):>9} tuples = {flat_values:>9} values "
+          f"in {rdb_time:.3f}s")
+
+    # Factorised evaluation (FDB).
+    fdb = FDB(db)
+    start = time.perf_counter()
+    fr = fdb.evaluate(query)
+    fdb_time = time.perf_counter() - start
+    print(f"FDB:  {fr.count():>9} tuples = {fr.size():>9} singletons "
+          f"in {fdb_time:.3f}s")
+    print(f"compression: {flat_values / max(fr.size(), 1):.1f}x "
+          f"fewer data values; s(T) = {s_tree(fr.tree)}")
+    print("f-tree:")
+    print(fr.tree.pretty())
+    print()
+
+    assert fr.equals_flat(flat)
+
+    # Follow-up analytics on the factorised result.
+    print("follow-up on the factorised result: "
+          "parts both used and stocked, for warehouse 3 only")
+    followup = Query.make(
+        [],
+        constants=[("st_warehouse", "=", 3)],
+        projection=["sup_id", "ui_product"],
+    )
+    start = time.perf_counter()
+    drill, plan = fdb.evaluate_on(fr, followup)
+    drill_time = time.perf_counter() - start
+    print(f"  plan: {plan if len(plan) else '<no restructuring needed>'}")
+    print(f"  {drill.count()} (supplier, product) pairs in "
+          f"{drill.size()} singletons, {drill_time:.3f}s")
+    sample = list(drill.rows())[:5]
+    print(f"  sample rows: {sample}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package can be installed in environments without the ``wheel`` package
+(PEP 660 editable installs need to build a wheel):
+
+    python setup.py develop        # editable install without wheel
+    pip install -e .               # where wheel is available
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""FDB: a query engine for factorised relational databases.
+
+A faithful reproduction of *Bakibayev, Olteanu, Zavodny: "FDB: A Query
+Engine for Factorised Relational Databases", VLDB 2012*
+(arXiv:1203.2672).
+
+Quickstart
+----------
+>>> from repro import FDB, Database, parse_query
+>>> db = Database()
+>>> _ = db.add_rows("R", ("a", "b"), [(1, 1), (1, 2), (2, 2)])
+>>> _ = db.add_rows("S", ("c", "d"), [(1, 5), (2, 5), (2, 6)])
+>>> fdb = FDB(db)
+>>> result = fdb.evaluate(parse_query("SELECT * FROM R, S WHERE b = c"))
+>>> result.count()
+5
+
+Layers (bottom-up): :mod:`repro.relational` (the flat RDB substrate),
+:mod:`repro.query` (SPJ query model), :mod:`repro.core` (f-trees and
+f-representations), :mod:`repro.ops` (f-plan operators),
+:mod:`repro.costs` (edge covers and ``s(T)``), :mod:`repro.optimiser`
+(f-tree and f-plan optimisers), :mod:`repro.engine` (the FDB facade),
+:mod:`repro.workloads` (Section 5 data generators).
+"""
+
+from repro.core.factorised import FactorisedRelation
+from repro.core.ftree import FNode, FTree
+from repro.engine import FDB
+from repro.query.parser import parse_query
+from repro.query.query import Query
+from repro.relational.budget import Budget, BudgetExceeded
+from repro.relational.database import Database
+from repro.relational.engine import RelationalEngine
+from repro.relational.relation import Relation
+from repro.relational.sqlite_engine import SQLiteEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "Database",
+    "FactorisedRelation",
+    "FDB",
+    "FNode",
+    "FTree",
+    "parse_query",
+    "Query",
+    "Relation",
+    "RelationalEngine",
+    "SQLiteEngine",
+    "__version__",
+]

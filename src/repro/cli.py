@@ -1,0 +1,231 @@
+"""Command-line interface for the FDB engine.
+
+Subcommands:
+
+- ``query``      evaluate an SQL-like SPJ query over CSV relations,
+                 printing the factorised result (or flat rows);
+- ``compile``    factorise a query result and save it to a file;
+- ``stats``      show f-tree, sizes and costs of a saved factorisation;
+- ``experiment`` run one of the paper's experiments (1-4);
+- ``shell``      a minimal interactive prompt over loaded CSVs.
+
+Example::
+
+    python -m repro.cli query \\
+        "SELECT * FROM Orders, Store WHERE o_item = s_item" \\
+        --csv data/Orders.csv data/Store.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from repro.core import serialize
+from repro.costs.cost_model import s_tree
+from repro.engine import FDB
+from repro.experiments import (
+    exp1,
+    exp2,
+    exp3,
+    exp4,
+    format_table,
+    run_experiment1,
+    run_experiment2,
+    run_experiment3,
+    run_experiment4,
+)
+from repro.query.parser import parse_query
+from repro.relational.csvio import load_database
+from repro.relational.database import Database
+
+
+def _load(paths: Sequence[str]) -> Database:
+    if not paths:
+        raise SystemExit("no input relations: pass --csv file.csv ...")
+    return load_database(list(paths))
+
+
+def _print_result(fr, flat: bool, limit: int) -> None:
+    print(f"f-tree:\n{fr.tree.pretty()}")
+    print(
+        f"{fr.count()} tuples, {fr.size()} singletons "
+        f"(flat: {fr.flat_data_elements()} values)"
+    )
+    print(f"s(T) = {s_tree(fr.tree)}")
+    if flat:
+        for i, row in enumerate(fr.rows()):
+            if i >= limit:
+                print(f"... ({fr.count()} rows)")
+                break
+            print(" ", row)
+    else:
+        text = fr.pretty()
+        if len(text) > 2000:
+            text = text[:2000] + " ..."
+        print(text)
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    db = _load(args.csv)
+    fdb = FDB(db, plan_search=args.planner)
+    query = parse_query(args.query)
+    start = time.perf_counter()
+    fr = fdb.evaluate(query)
+    elapsed = time.perf_counter() - start
+    _print_result(fr, args.flat, args.limit)
+    print(f"evaluated in {elapsed:.4f}s")
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    db = _load(args.csv)
+    fdb = FDB(db)
+    fr = fdb.evaluate(parse_query(args.query))
+    serialize.save(fr, args.output)
+    print(
+        f"saved {fr.count()} tuples as {fr.size()} singletons "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    fr = serialize.load_path(args.factorisation)
+    _print_result(fr, flat=False, limit=0)
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    number = args.number
+    if number == 1:
+        rows = run_experiment1(
+            relations_values=tuple(args.relations),
+            equalities_values=tuple(args.equalities),
+            repeats=args.repeats,
+        )
+        print(format_table(exp1.headers(), exp1.as_cells(rows)))
+    elif number == 2:
+        rows = run_experiment2(
+            k_values=tuple(args.equalities),
+            l_values=(1, 2, 3),
+            repeats=args.repeats,
+        )
+        print(format_table(exp2.headers(), exp2.as_cells(rows)))
+    elif number == 3:
+        rows = run_experiment3(
+            sizes=tuple(args.sizes),
+            k_values=tuple(args.equalities),
+            timeout=args.timeout,
+        )
+        print(format_table(exp3.headers(), exp3.as_cells(rows)))
+    elif number == 4:
+        rows = run_experiment4(
+            k_values=tuple(args.equalities),
+            timeout=args.timeout,
+        )
+        print(format_table(exp4.headers(), exp4.as_cells(rows)))
+    else:
+        raise SystemExit(f"no experiment {number}; pick 1-4")
+    return 0
+
+
+def cmd_shell(args: argparse.Namespace) -> int:
+    db = _load(args.csv)
+    fdb = FDB(db)
+    print(f"loaded: {', '.join(db.names)}  (\\q to quit)")
+    while True:
+        try:
+            line = input("fdb> ").strip()
+        except EOFError:
+            break
+        if not line:
+            continue
+        if line in ("\\q", "quit", "exit"):
+            break
+        try:
+            fr = fdb.evaluate(parse_query(line))
+            _print_result(fr, flat=args.flat, limit=args.limit)
+        except Exception as exc:  # surface errors, keep the loop
+            print(f"error: {exc}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FDB: a query engine for factorised databases",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_csv(p):
+        p.add_argument(
+            "--csv",
+            nargs="+",
+            default=[],
+            help="CSV relation files (header row = attribute names)",
+        )
+
+    q = sub.add_parser("query", help="evaluate an SPJ query")
+    add_csv(q)
+    q.add_argument("query")
+    q.add_argument(
+        "--planner",
+        choices=["exhaustive", "greedy"],
+        default="exhaustive",
+    )
+    q.add_argument(
+        "--flat", action="store_true", help="print flat rows"
+    )
+    q.add_argument("--limit", type=int, default=20)
+    q.set_defaults(func=cmd_query)
+
+    c = sub.add_parser(
+        "compile", help="factorise a query result to a file"
+    )
+    add_csv(c)
+    c.add_argument("query")
+    c.add_argument("-o", "--output", required=True)
+    c.set_defaults(func=cmd_compile)
+
+    s = sub.add_parser(
+        "stats", help="inspect a saved factorisation"
+    )
+    s.add_argument("factorisation")
+    s.set_defaults(func=cmd_stats)
+
+    e = sub.add_parser(
+        "experiment", help="run a Section 5 experiment"
+    )
+    e.add_argument("number", type=int, choices=[1, 2, 3, 4])
+    e.add_argument(
+        "--relations", type=int, nargs="+", default=[2, 4, 6]
+    )
+    e.add_argument(
+        "--equalities", type=int, nargs="+", default=[2, 3]
+    )
+    e.add_argument(
+        "--sizes", type=int, nargs="+", default=[1000]
+    )
+    e.add_argument("--repeats", type=int, default=2)
+    e.add_argument("--timeout", type=float, default=30.0)
+    e.set_defaults(func=cmd_experiment)
+
+    sh = sub.add_parser("shell", help="interactive query prompt")
+    add_csv(sh)
+    sh.add_argument("--flat", action="store_true")
+    sh.add_argument("--limit", type=int, default=20)
+    sh.set_defaults(func=cmd_shell)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Constant-delay enumeration of the tuples of an f-representation.
+
+Section 2: "the tuples of a given f-representation E over a set S of
+attributes can be enumerated with O(|E|) space and precomputation time,
+and O(|S|) delay between successive tuples."  The generator below is
+the Python equivalent: a depth-first walk over a work list of
+(node, union) pairs that keeps a single mutable partial assignment and
+never materialises the flat relation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.ftree import FNode
+from repro.core.frep import ProductRep, UnionRep
+
+Assignment = Dict[str, object]
+_Unit = Tuple[FNode, UnionRep]
+
+
+def _walk(units: List[_Unit], partial: Assignment) -> Iterator[None]:
+    """Yield once per complete assignment of all pending units.
+
+    Every unit is one (node, union) pair still to be instantiated.  At
+    each step the head node receives each of its union's values in
+    turn; its children join the work list together with the remaining
+    units.  A yield fires exactly when the work list is exhausted, at
+    which point ``partial`` holds a full tuple; each node on the
+    current derivation was set after any previous derivation touched
+    it, so no stale values can leak into a yielded assignment.
+    """
+    if not units:
+        yield None
+        return
+    (node, union), rest = units[0], units[1:]
+    for value, child in union.entries:
+        for attr in node.label:
+            partial[attr] = value
+        child_units = list(zip(node.children, child.factors))
+        yield from _walk(child_units + rest, partial)
+
+
+def iter_assignments(
+    nodes: Sequence[FNode], product: Optional[ProductRep]
+) -> Iterator[Assignment]:
+    """Yield every tuple of the representation as an attr->value dict.
+
+    Tuples come out in the lexicographic order induced by the canonical
+    node order and the sorted unions, so the output is deterministic.
+    """
+    if product is None:
+        return
+    partial: Assignment = {}
+    units = list(zip(nodes, product.factors))
+    for _ in _walk(units, partial):
+        yield dict(partial)
+
+
+def iter_rows(
+    nodes: Sequence[FNode],
+    product: Optional[ProductRep],
+    attributes: Sequence[str],
+) -> Iterator[tuple]:
+    """Yield tuples projected onto ``attributes`` in the given order."""
+    if product is None:
+        return
+    partial: Assignment = {}
+    units = list(zip(nodes, product.factors))
+    for _ in _walk(units, partial):
+        yield tuple(partial[attr] for attr in attributes)

@@ -1,0 +1,170 @@
+"""The user-facing factorised relation: an f-tree plus its data.
+
+A :class:`FactorisedRelation` bundles an :class:`~repro.core.ftree.
+FTree` with the structured representation over it (``None`` encodes the
+empty relation) and offers the logical-layer view of Section 1: the
+relation *is* a relation -- it can be enumerated, counted, compared and
+exported flat -- while the physical layer stays factorised.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.enumerate import Assignment, iter_assignments, iter_rows
+from repro.core.expr import Expression, Empty, expression_of
+from repro.core.frep import ProductRep
+from repro.core.ftree import FTree
+from repro.core.size import data_elements, representation_size, tuple_count
+from repro.core.validate import validate_relation
+from repro.relational.relation import Relation
+
+
+class FactorisedRelation:
+    """A relation stored factorised over an f-tree.
+
+    >>> from repro.core.build import factorise
+    >>> from repro.core.ftree import FTree
+    >>> from repro.relational.relation import Relation
+    >>> r = Relation.from_rows("R", ("a", "b"), [(1, 1), (1, 2), (2, 2)])
+    >>> tree = FTree.from_nested([("a", [("b", [])])], [{"a", "b"}])
+    >>> fr = FactorisedRelation(tree, factorise([r], tree))
+    >>> fr.count()
+    3
+    >>> fr.size()  # 2 a-singletons + 3 b-singletons
+    5
+    """
+
+    __slots__ = ("tree", "data")
+
+    def __init__(
+        self, tree: FTree, data: Optional[ProductRep]
+    ) -> None:
+        self.tree = tree
+        self.data = data
+
+    # -- relational view -----------------------------------------------------
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """Attributes in canonical (sorted) order."""
+        return tuple(sorted(self.tree.attributes()))
+
+    def is_empty(self) -> bool:
+        return self.data is None
+
+    def size(self) -> int:
+        """Representation size ``|E|``: the number of singletons."""
+        return representation_size(self.tree.roots, self.data)
+
+    def count(self) -> int:
+        """Number of represented tuples, without enumeration."""
+        return tuple_count(self.tree.roots, self.data)
+
+    def flat_data_elements(self) -> int:
+        """Size of the *flat* equivalent in data elements."""
+        return data_elements(self.tree.roots, self.data)
+
+    def __iter__(self) -> Iterator[Assignment]:
+        return iter_assignments(self.tree.roots, self.data)
+
+    def rows(
+        self, attributes: Optional[Sequence[str]] = None
+    ) -> Iterator[tuple]:
+        """Iterate tuples projected onto ``attributes`` (default all)."""
+        order = self.attributes if attributes is None else tuple(attributes)
+        return iter_rows(self.tree.roots, self.data, order)
+
+    def to_relation(self, name: str = "flat") -> Relation:
+        """Materialise the flat relation (use with care on big data)."""
+        return Relation.from_rows(name, self.attributes, self.rows())
+
+    def to_expression(self) -> Expression:
+        """The Definition-1 expression AST of this representation."""
+        if self.data is None:
+            return Empty(self.tree.attributes())
+        return expression_of(self.tree, self.data)
+
+    # -- aggregates (computed without enumeration) -----------------------------
+
+    def sum(self, attribute: str) -> float:
+        """``SUM(attribute)`` over all represented tuples."""
+        from repro.core import aggregate
+
+        return aggregate.sum_of(self.tree.roots, self.data, attribute)
+
+    def avg(self, attribute: str) -> Optional[float]:
+        """``AVG(attribute)``; ``None`` on the empty relation."""
+        from repro.core import aggregate
+
+        return aggregate.average(
+            self.tree.roots, self.data, attribute
+        )
+
+    def min(self, attribute: str):
+        """``MIN(attribute)``; ``None`` on the empty relation."""
+        from repro.core import aggregate
+
+        return aggregate.min_of(self.tree.roots, self.data, attribute)
+
+    def max(self, attribute: str):
+        """``MAX(attribute)``; ``None`` on the empty relation."""
+        from repro.core import aggregate
+
+        return aggregate.max_of(self.tree.roots, self.data, attribute)
+
+    def count_distinct(self, attribute: str) -> int:
+        """``COUNT(DISTINCT attribute)``."""
+        from repro.core import aggregate
+
+        return aggregate.count_distinct(
+            self.tree.roots, self.data, attribute
+        )
+
+    def group_count(self, attribute: str):
+        """``GROUP BY attribute`` with ``COUNT(*)`` per group."""
+        from repro.core import aggregate
+
+        return aggregate.group_count(
+            self.tree.roots, self.data, attribute
+        )
+
+    # -- comparisons and checks ----------------------------------------------
+
+    def same_relation(self, other: "FactorisedRelation") -> bool:
+        """Do both factorisations represent the same relation?"""
+        if set(self.attributes) != set(other.attributes):
+            return False
+        mine = set(self.rows())
+        theirs = set(other.rows(self.attributes))
+        return mine == theirs
+
+    def equals_flat(self, relation: Relation) -> bool:
+        """Does this factorisation represent exactly ``relation``?"""
+        if set(self.attributes) != set(relation.attributes):
+            return False
+        order = self.attributes
+        perm = [relation.schema.index_of(a) for a in order]
+        flat = {tuple(row[i] for i in perm) for row in relation}
+        return set(self.rows(order)) == flat
+
+    def validate(self) -> "FactorisedRelation":
+        """Check all structural invariants; returns self for chaining."""
+        validate_relation(self.tree, self.data)
+        return self
+
+    # -- display ---------------------------------------------------------------
+
+    def pretty(self, unicode_glyphs: bool = True) -> str:
+        """Render as a Definition-1 expression string."""
+        return self.to_expression().to_text(unicode_glyphs)
+
+    def __repr__(self) -> str:
+        return (
+            f"FactorisedRelation(attrs={list(self.attributes)}, "
+            f"size={self.size()}, tuples={self.count()})"
+        )
+
+    def copy(self) -> "FactorisedRelation":
+        data = None if self.data is None else self.data.copy()
+        return FactorisedRelation(self.tree, data)

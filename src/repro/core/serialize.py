@@ -1,0 +1,167 @@
+"""Serialisation of factorised relations (the "compiled database" use).
+
+Section 1 motivates *compiled databases*: static data factorised once
+and shipped in factorised form.  This module provides a stable text
+format for that, round-tripping a :class:`FactorisedRelation` --
+f-tree, dependency edges and data -- through a single JSON document.
+
+Format (version 1)::
+
+    {
+      "format": "fdb-factorised",
+      "version": 1,
+      "edges": [["a", "b"], ...],
+      "tree": {"label": ["a"], "constant": false, "children": [...]},
+      "data": [  # one entry per root, aligned; null for empty relation
+        [[value, [ ...child products... ]], ...]   # a union
+      ]
+    }
+
+Unions serialise as ``[[value, product], ...]`` and products as lists
+of unions, mirroring the structured representation exactly.  Values
+must be JSON-representable (the engine uses ints and strings).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, List, Optional, Sequence, Union
+
+from repro.core.factorised import FactorisedRelation
+from repro.core.frep import FRepError, ProductRep, UnionRep
+from repro.core.ftree import FNode, FTree
+from repro.query.hypergraph import Hypergraph
+
+FORMAT_NAME = "fdb-factorised"
+FORMAT_VERSION = 1
+
+
+class SerializationError(ValueError):
+    """Raised for malformed serialised representations."""
+
+
+# -- encoding -----------------------------------------------------------------
+
+
+def _encode_node(node: FNode) -> Dict[str, Any]:
+    return {
+        "label": sorted(node.label),
+        "constant": node.constant,
+        "children": [_encode_node(c) for c in node.children],
+    }
+
+
+def _encode_union(union: UnionRep) -> List[Any]:
+    return [
+        [value, _encode_product(child)]
+        for value, child in union.entries
+    ]
+
+
+def _encode_product(product: ProductRep) -> List[Any]:
+    return [_encode_union(u) for u in product.factors]
+
+
+def to_document(fr: FactorisedRelation) -> Dict[str, Any]:
+    """Encode a factorised relation as a JSON-ready document."""
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "edges": [sorted(edge) for edge in fr.tree.edges],
+        "tree": [_encode_node(root) for root in fr.tree.roots],
+        "data": (
+            None if fr.data is None else _encode_product(fr.data)
+        ),
+    }
+
+
+def dumps(fr: FactorisedRelation, indent: Optional[int] = None) -> str:
+    """Serialise to a JSON string."""
+    return json.dumps(to_document(fr), indent=indent, sort_keys=True)
+
+
+def dump(fr: FactorisedRelation, handle: IO[str]) -> None:
+    """Serialise to an open text file."""
+    json.dump(to_document(fr), handle, sort_keys=True)
+
+
+def save(fr: FactorisedRelation, path: str) -> None:
+    """Serialise to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        dump(fr, handle)
+
+
+# -- decoding -----------------------------------------------------------------
+
+
+def _decode_node(doc: Any) -> FNode:
+    try:
+        label = doc["label"]
+        constant = bool(doc.get("constant", False))
+        children = doc.get("children", [])
+    except (TypeError, KeyError) as exc:
+        raise SerializationError(f"malformed tree node: {doc!r}") from exc
+    return FNode(
+        set(label), [_decode_node(c) for c in children], constant
+    )
+
+
+def _decode_union(doc: Any) -> UnionRep:
+    if not isinstance(doc, list):
+        raise SerializationError(f"malformed union: {doc!r}")
+    entries = []
+    for item in doc:
+        if not isinstance(item, list) or len(item) != 2:
+            raise SerializationError(f"malformed entry: {item!r}")
+        value, child = item
+        entries.append((value, _decode_product(child)))
+    return UnionRep(entries)
+
+
+def _decode_product(doc: Any) -> ProductRep:
+    if not isinstance(doc, list):
+        raise SerializationError(f"malformed product: {doc!r}")
+    return ProductRep([_decode_union(u) for u in doc])
+
+
+def from_document(doc: Dict[str, Any]) -> FactorisedRelation:
+    """Decode a document produced by :func:`to_document`.
+
+    The result is validated (alignment, value order, non-emptiness,
+    path constraint) before being returned.
+    """
+    if doc.get("format") != FORMAT_NAME:
+        raise SerializationError(
+            f"not a {FORMAT_NAME} document: {doc.get('format')!r}"
+        )
+    if doc.get("version") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported version {doc.get('version')!r}"
+        )
+    edges = Hypergraph(set(edge) for edge in doc.get("edges", []))
+    roots = [_decode_node(node) for node in doc.get("tree", [])]
+    tree = FTree(roots, edges)
+    raw = doc.get("data")
+    data = None if raw is None else _decode_product(raw)
+    fr = FactorisedRelation(tree, data)
+    try:
+        fr.validate()
+    except FRepError as exc:
+        raise SerializationError(str(exc)) from exc
+    return fr
+
+
+def loads(text: str) -> FactorisedRelation:
+    """Deserialise from a JSON string."""
+    return from_document(json.loads(text))
+
+
+def load(handle: IO[str]) -> FactorisedRelation:
+    """Deserialise from an open text file."""
+    return from_document(json.load(handle))
+
+
+def load_path(path: str) -> FactorisedRelation:
+    """Deserialise from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return load(handle)

@@ -1,0 +1,70 @@
+"""Size and cardinality measures of structured f-representations.
+
+``representation_size`` is the paper's ``|E|``: the number of
+singletons (each node entry contributes one singleton per attribute in
+the node's label).  ``tuple_count`` evaluates how many flat tuples the
+representation denotes -- computed by sum/product recursion without
+enumerating them, which is what makes factorised counting cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.ftree import FNode
+from repro.core.frep import ProductRep, UnionRep
+
+
+def representation_size(
+    nodes: Sequence[FNode], product: Optional[ProductRep]
+) -> int:
+    """Number of singletons in the representation (``None`` = empty)."""
+    if product is None:
+        return 0
+    total = 0
+    for node, union in zip(nodes, product.factors):
+        total += _union_size(node, union)
+    return total
+
+
+def _union_size(node: FNode, union: UnionRep) -> int:
+    total = 0
+    width = len(node.label)
+    for _, child in union.entries:
+        total += width
+        total += representation_size(node.children, child)
+    return total
+
+
+def tuple_count(
+    nodes: Sequence[FNode], product: Optional[ProductRep]
+) -> int:
+    """Number of distinct tuples represented (0 for empty)."""
+    if product is None:
+        return 0
+    total = 1
+    for node, union in zip(nodes, product.factors):
+        total *= _union_count(node, union)
+        if total == 0:
+            return 0
+    return total
+
+
+def _union_count(node: FNode, union: UnionRep) -> int:
+    total = 0
+    for _, child in union.entries:
+        total += tuple_count(node.children, child)
+    return total
+
+
+def data_elements(
+    nodes: Sequence[FNode], product: Optional[ProductRep]
+) -> int:
+    """Flat-result size in data elements: #tuples x #attributes.
+
+    This is the unit Figures 7 and 8 use for the relational engines;
+    comparing it against :func:`representation_size` reproduces the
+    paper's "result size [# of data elements]" axes.
+    """
+    arity = sum(len(node.subtree_attributes()) for node in nodes)
+    return tuple_count(nodes, product) * arity

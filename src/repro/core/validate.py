@@ -1,0 +1,65 @@
+"""Structural validation of f-representations against their f-trees.
+
+The operators of Section 3 promise to preserve three constraints:
+
+1. alignment: a :class:`ProductRep` has exactly one factor per tree of
+   the forest it represents, recursively;
+2. the order constraint: union values are strictly increasing;
+3. non-emptiness: no union inside a (non-empty) representation is
+   empty -- emptiness is pruned eagerly and surfaces only as the
+   ``None`` representation of the empty relation.
+
+``validate`` walks a representation and raises :class:`FRepError` on
+the first violation; the test-suite and the engine's debug mode call it
+after every operator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.ftree import FNode, FTree
+from repro.core.frep import FRepError, ProductRep, check_sorted
+
+
+def validate(
+    nodes: Sequence[FNode], product: Optional[ProductRep]
+) -> None:
+    """Check alignment, order and non-emptiness; raise on violation."""
+    if product is None:
+        return
+    if len(product.factors) != len(nodes):
+        raise FRepError(
+            f"product arity {len(product.factors)} does not match "
+            f"forest arity {len(nodes)}"
+        )
+    for node, union in zip(nodes, product.factors):
+        if not union.entries:
+            raise FRepError(
+                f"empty union at node {sorted(node.label)} inside a "
+                f"non-empty representation"
+            )
+        check_sorted(union)
+        if node.constant and len(union.entries) != 1:
+            raise FRepError(
+                f"constant node {sorted(node.label)} holds "
+                f"{len(union.entries)} values"
+            )
+        for _, child in union.entries:
+            validate(node.children, child)
+
+
+def validate_tree(tree: FTree) -> None:
+    """Check the f-tree side: path constraint must hold."""
+    if not tree.satisfies_path_constraint():
+        raise FRepError(
+            f"f-tree violates the path constraint: {tree.pretty_inline()}"
+        )
+
+
+def validate_relation(
+    tree: FTree, product: Optional[ProductRep]
+) -> None:
+    """Full check of a factorised relation (tree + data)."""
+    validate_tree(tree)
+    validate(tree.roots, product)

@@ -1,0 +1,34 @@
+"""The experimental harness of Section 5.
+
+One module per experiment; each exposes a ``run_*`` function returning
+plain result rows (named tuples) plus a formatter that prints the same
+series the paper plots.  The benchmarks under ``benchmarks/`` and the
+integration tests drive these functions at different scales.
+
+=============  ==========================  =============================
+experiment     paper figure                 module
+=============  ==========================  =============================
+Experiment 1   Figure 5 (left + right)      :mod:`repro.experiments.exp1`
+Experiment 2   Figure 6 and Figure 9        :mod:`repro.experiments.exp2`
+Experiment 3   Figure 7 (all panels)        :mod:`repro.experiments.exp3`
+Experiment 4   Figure 8 (both panels)       :mod:`repro.experiments.exp4`
+=============  ==========================  =============================
+"""
+
+from repro.experiments.exp1 import Exp1Row, run_experiment1
+from repro.experiments.exp2 import Exp2Row, run_experiment2
+from repro.experiments.exp3 import Exp3Row, run_experiment3
+from repro.experiments.exp4 import Exp4Row, run_experiment4
+from repro.experiments.report import format_table
+
+__all__ = [
+    "Exp1Row",
+    "Exp2Row",
+    "Exp3Row",
+    "Exp4Row",
+    "format_table",
+    "run_experiment1",
+    "run_experiment2",
+    "run_experiment3",
+    "run_experiment4",
+]

@@ -1,0 +1,49 @@
+"""Small text-table formatting for experiment output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Fixed-width table with a header rule.
+
+    >>> print(format_table(["a", "b"], [[1, "x"], [23, "y"]]))
+    a  | b
+    ---+--
+    1  | x
+    23 | y
+    """
+    materialised: List[List[str]] = [
+        [_cell(v) for v in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    header = " | ".join(
+        h.ljust(w) for h, w in zip(headers, widths)
+    ).rstrip()
+    rule = "-+-".join("-" * w for w in widths)
+    lines = [header, rule]
+    for row in materialised:
+        lines.append(
+            " | ".join(
+                c.ljust(w) for c, w in zip(row, widths)
+            ).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN marks a DNF/timeout
+            return "timeout"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)

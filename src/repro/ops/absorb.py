@@ -1,0 +1,149 @@
+"""The absorb selection operator ``alpha_{A,B}`` (Section 3.3,
+Figure 3(d)).
+
+Absorption enforces ``A = B`` when ``A`` is an *ancestor* of ``B``: in
+every context, the union over ``B`` sits inside a union over ``A`` and
+is therefore restricted to the single value ``a`` of its enclosing
+``A``-singleton (or pruned when that value is absent).  The node ``B``
+disappears -- its attributes join ``A``'s label, its children are
+adopted by ``B``'s former parent -- and a final normalisation pass
+floats any subtrees freed by the restriction (nodes on the path
+between ``A`` and ``B`` may have lost their reason to sit below ``A``,
+cf. Example 10).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.factorised import FactorisedRelation
+from repro.core.frep import ProductRep, UnionRep
+from repro.core.ftree import FNode, FTree
+from repro.ops.base import (
+    OperatorError,
+    rewrite_at_level,
+    sort_pairs,
+    subtree_index,
+)
+from repro.ops.normalise import normalise, normalise_tree
+
+
+def _absorb_parts(
+    tree: FTree, a_attr: str, b_attr: str
+) -> Tuple[FNode, FNode]:
+    node_a = tree.node_of(a_attr)
+    node_b = tree.node_of(b_attr)
+    if node_a.label == node_b.label:
+        raise OperatorError(
+            f"{a_attr!r} and {b_attr!r} already label the same node"
+        )
+    if not tree.is_ancestor(node_a, node_b):
+        raise OperatorError(
+            f"absorb requires {sorted(node_a.label)} to be an ancestor "
+            f"of {sorted(node_b.label)}"
+        )
+    return node_a, node_b
+
+
+def _structural_tree(
+    tree: FTree, node_a: FNode, node_b: FNode
+) -> Tuple[FTree, FNode]:
+    """The f-tree after absorption, *before* normalisation.
+
+    Returns the tree and the merged node (for data alignment).
+    """
+    a_attr = next(iter(node_a.label))
+    spliced = tree.replace_node(node_b.label, list(node_b.children))
+    node_a_after = spliced.node_of(a_attr)
+    merged = FNode(
+        node_a.label | node_b.label,
+        node_a_after.children,
+        node_a.constant and node_b.constant,
+    )
+    structural = spliced.replace_node(node_a.label, [merged])
+    return structural, merged
+
+
+def absorb_tree(tree: FTree, a_attr: str, b_attr: str) -> FTree:
+    """Tree-level absorb, including the final normalisation."""
+    node_a, node_b = _absorb_parts(tree, a_attr, b_attr)
+    structural, _ = _structural_tree(tree, node_a, node_b)
+    normalised, _ = normalise_tree(structural)
+    return normalised
+
+
+def absorb(
+    fr: FactorisedRelation, a_attr: str, b_attr: str
+) -> FactorisedRelation:
+    """Absorb on a factorised relation (restriction + normalisation)."""
+    tree = fr.tree
+    node_a, node_b = _absorb_parts(tree, a_attr, b_attr)
+    structural, merged = _structural_tree(tree, node_a, node_b)
+    if fr.data is None:
+        normalised, _ = normalise_tree(structural)
+        return FactorisedRelation(normalised, None)
+
+    b_anchor = next(iter(node_b.label))
+
+    def restrict(
+        forest: Sequence[FNode],
+        factors: Sequence[UnionRep],
+        a_value: object,
+    ) -> Optional[List[UnionRep]]:
+        """Restrict B's union to ``a_value`` below this forest."""
+        labels = [n.label for n in forest]
+        if node_b.label in labels:
+            i_b = labels.index(node_b.label)
+            matched = factors[i_b].find(a_value)
+            if matched is None:
+                return None
+            nodes = [n for k, n in enumerate(forest) if k != i_b]
+            outs = [f for k, f in enumerate(factors) if k != i_b]
+            nodes += list(node_b.children)
+            outs += list(matched.factors)
+            _, sorted_facts = sort_pairs(nodes, outs)
+            return sorted_facts
+        idx = subtree_index(forest, b_anchor)
+        node, union = forest[idx], factors[idx]
+        new_entries: List[Tuple[object, ProductRep]] = []
+        for value, child in union.entries:
+            res = restrict(node.children, child.factors, a_value)
+            if res is not None:
+                new_entries.append((value, ProductRep(res)))
+        if not new_entries:
+            return None
+        out = list(factors)
+        out[idx] = UnionRep(new_entries)
+        return out
+
+    parent = tree.parent_of(node_a)
+    old_level = list(parent.children) if parent is not None else list(
+        tree.roots
+    )
+    i_a = [n.label for n in old_level].index(node_a.label)
+
+    def rewrite(factors: List[UnionRep]) -> Optional[List[UnionRep]]:
+        union_a = factors[i_a]
+        new_entries: List[Tuple[object, ProductRep]] = []
+        for a_value, prod in union_a.entries:
+            res = restrict(node_a.children, prod.factors, a_value)
+            if res is not None:
+                new_entries.append((a_value, ProductRep(res)))
+        if not new_entries:
+            return None
+        nodes = [n for k, n in enumerate(old_level) if k != i_a]
+        outs = [f for k, f in enumerate(factors) if k != i_a]
+        nodes.append(merged)
+        outs.append(UnionRep(new_entries))
+        _, sorted_factors = sort_pairs(nodes, outs)
+        return sorted_factors
+
+    new_factors = rewrite_at_level(
+        tree.roots, fr.data.factors, next(iter(node_a.label)), rewrite
+    )
+    if new_factors is None:
+        normalised, _ = normalise_tree(structural)
+        return FactorisedRelation(normalised, None)
+    return normalise(
+        FactorisedRelation(structural, ProductRep(new_factors))
+    )

@@ -1,0 +1,125 @@
+"""The merge selection operator ``mu_{A,B}`` (Section 3.3, Fig. 3(c)).
+
+Merging enforces an equality ``A = B`` between *sibling* nodes: the two
+nodes fuse into one labelled by the union of their attribute classes,
+with the children of both.  On data it is a sort-merge join of the two
+sibling unions:
+
+    ( U_a <A:a> x E_a ) x ( U_b <B:b> x F_b )
+        ==>  U_{a=b} <A:a> x <B:b> x E_a x F_b
+
+A merge can empty a union (no common values), in which case the
+surrounding entry is pruned -- possibly cascading to an empty result.
+Merging preserves the path constraint and normalisation (root-to-leaf
+paths only get shorter).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.factorised import FactorisedRelation
+from repro.core.frep import ProductRep, UnionRep
+from repro.core.ftree import FNode, FTree
+from repro.ops.base import (
+    OperatorError,
+    rewrite_at_level,
+    sort_pairs,
+)
+
+
+def _merge_parts(
+    tree: FTree, a_attr: str, b_attr: str
+) -> Tuple[FNode, FNode, FNode]:
+    node_a = tree.node_of(a_attr)
+    node_b = tree.node_of(b_attr)
+    if node_a.label == node_b.label:
+        raise OperatorError(
+            f"{a_attr!r} and {b_attr!r} already label the same node"
+        )
+    parent_a = tree.parent_of(node_a)
+    parent_b = tree.parent_of(node_b)
+    same_parent = (
+        (parent_a is None and parent_b is None)
+        or (
+            parent_a is not None
+            and parent_b is not None
+            and parent_a.label == parent_b.label
+        )
+    )
+    if not same_parent:
+        raise OperatorError(
+            f"merge requires siblings; {sorted(node_a.label)} and "
+            f"{sorted(node_b.label)} have different parents"
+        )
+    merged = FNode(
+        node_a.label | node_b.label,
+        list(node_a.children) + list(node_b.children),
+        node_a.constant and node_b.constant,
+    )
+    return node_a, node_b, merged
+
+
+def merge_tree(tree: FTree, a_attr: str, b_attr: str) -> FTree:
+    """Tree-level merge of two sibling nodes."""
+    node_a, node_b, merged = _merge_parts(tree, a_attr, b_attr)
+    without_b = tree.replace_node(node_b.label, [])
+    return without_b.replace_node(node_a.label, [merged])
+
+
+def merge(
+    fr: FactorisedRelation, a_attr: str, b_attr: str
+) -> FactorisedRelation:
+    """Merge on a factorised relation: sort-merge join of the unions."""
+    tree = fr.tree
+    node_a, node_b, merged = _merge_parts(tree, a_attr, b_attr)
+    new_tree = merge_tree(tree, a_attr, b_attr)
+    if fr.data is None:
+        return FactorisedRelation(new_tree, None)
+
+    parent = tree.parent_of(node_a)
+    old_level = list(parent.children) if parent is not None else list(
+        tree.roots
+    )
+    labels = [n.label for n in old_level]
+    i_a = labels.index(node_a.label)
+    i_b = labels.index(node_b.label)
+
+    def rewrite(factors: List[UnionRep]) -> Optional[List[UnionRep]]:
+        union_a, union_b = factors[i_a], factors[i_b]
+        out: List[Tuple[object, ProductRep]] = []
+        i = j = 0
+        a_entries, b_entries = union_a.entries, union_b.entries
+        while i < len(a_entries) and j < len(b_entries):
+            a_value, a_child = a_entries[i]
+            b_value, b_child = b_entries[j]
+            if a_value < b_value:
+                i += 1
+            elif b_value < a_value:
+                j += 1
+            else:
+                _, sorted_facts = sort_pairs(
+                    list(node_a.children) + list(node_b.children),
+                    a_child.factors + b_child.factors,
+                )
+                out.append((a_value, ProductRep(sorted_facts)))
+                i += 1
+                j += 1
+        if not out:
+            return None
+        nodes = [
+            n for k, n in enumerate(old_level) if k not in (i_a, i_b)
+        ]
+        outs = [
+            f for k, f in enumerate(factors) if k not in (i_a, i_b)
+        ]
+        nodes.append(merged)
+        outs.append(UnionRep(out))
+        _, sorted_factors = sort_pairs(nodes, outs)
+        return sorted_factors
+
+    new_factors = rewrite_at_level(
+        tree.roots, fr.data.factors, next(iter(node_a.label)), rewrite
+    )
+    data = None if new_factors is None else ProductRep(new_factors)
+    return FactorisedRelation(new_tree, data)

@@ -1,0 +1,141 @@
+"""Normalisation: the push-up operator and the operator ``eta``.
+
+Section 3.1.  A child ``B`` of ``A`` can be *pushed up* (made a sibling
+of ``A``) when ``A`` is not dependent on ``B`` or its descendants; the
+transformation factors the subexpression over ``B``'s subtree out of
+the union over ``A``:
+
+    U_a <A:a> x (U_b <B:b> x F_b) x E_a
+        ==>   (U_b <B:b> x F_b) x (U_a <A:a> x E_a)
+
+An f-tree is *normalised* when no node can be pushed up
+(Definition 3).  ``normalise`` repeats push-ups bottom-up until that
+fix-point; each push-up strictly reduces the total node depth, so the
+loop terminates, and each application can only shrink the
+representation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.factorised import FactorisedRelation
+from repro.core.frep import ProductRep, UnionRep
+from repro.core.ftree import FNode, FTree
+from repro.ops.base import (
+    OperatorError,
+    rewrite_at_level,
+    sort_pairs,
+)
+
+
+def pushable_nodes(tree: FTree) -> List[FNode]:
+    """All nodes that can currently be pushed above their parent."""
+    return [
+        node
+        for node in tree.iter_nodes()
+        if tree.parent_of(node) is not None and tree.pushable(node)
+    ]
+
+
+def push_up_tree(tree: FTree, b_attr: str) -> FTree:
+    """Tree-level push-up ``psi_B`` of the node holding ``b_attr``."""
+    node_b = tree.node_of(b_attr)
+    node_a = tree.parent_of(node_b)
+    if node_a is None:
+        raise OperatorError(f"{b_attr!r} labels a root; nothing to push")
+    if tree.node_depends_on_subtree(node_a, node_b):
+        raise OperatorError(
+            f"cannot push {sorted(node_b.label)} above "
+            f"{sorted(node_a.label)}: they are dependent"
+        )
+    new_a = node_a.with_children(
+        [c for c in node_a.children if c.label != node_b.label]
+    )
+    return tree.replace_node(node_a.label, [new_a, node_b])
+
+
+def push_up(fr: FactorisedRelation, b_attr: str) -> FactorisedRelation:
+    """Push-up on a factorised relation (tree and data together)."""
+    tree = fr.tree
+    node_b = tree.node_of(b_attr)
+    node_a = tree.parent_of(node_b)
+    new_tree = push_up_tree(tree, b_attr)
+    if fr.data is None:
+        return FactorisedRelation(new_tree, None)
+    assert node_a is not None
+
+    a_anchor = next(iter(node_a.label))
+    j_b = [c.label for c in node_a.children].index(node_b.label)
+    other_children = [
+        c for c in node_a.children if c.label != node_b.label
+    ]
+    new_a = node_a.with_children(other_children)
+
+    # The rewriter needs the old level's forest to align factors with
+    # nodes; that forest is wherever node_a sits in the old tree.
+    parent = tree.parent_of(node_a)
+    old_level = list(parent.children) if parent is not None else list(
+        tree.roots
+    )
+
+    def rewrite(factors: List[UnionRep]) -> Optional[List[UnionRep]]:
+        i_a = [n.label for n in old_level].index(node_a.label)
+        union_a = factors[i_a]
+        # All copies of B's union are equal by independence; take the
+        # first (the union is never empty inside valid data).
+        union_b = union_a.entries[0][1].factors[j_b]
+        reduced = UnionRep(
+            (
+                value,
+                ProductRep(
+                    child.factors[:j_b] + child.factors[j_b + 1 :]
+                ),
+            )
+            for value, child in union_a.entries
+        )
+        nodes = [n for k, n in enumerate(old_level) if k != i_a]
+        outs = [f for k, f in enumerate(factors) if k != i_a]
+        nodes += [new_a, node_b]
+        outs += [reduced, union_b]
+        _, sorted_factors = sort_pairs(nodes, outs)
+        return sorted_factors
+
+    new_factors = rewrite_at_level(
+        tree.roots, fr.data.factors, a_anchor, rewrite
+    )
+    data = None if new_factors is None else ProductRep(new_factors)
+    return FactorisedRelation(new_tree, data)
+
+
+def normalise_tree(tree: FTree) -> Tuple[FTree, List[str]]:
+    """Normalise an f-tree; returns the tree and the push-up trace.
+
+    The trace records, per push-up, an attribute identifying the pushed
+    node -- enough to replay the same transformation on data.
+    """
+    trace: List[str] = []
+    current = tree
+    while True:
+        candidates = pushable_nodes(current)
+        if not candidates:
+            return current, trace
+        # Deepest-first keeps the procedure aligned with the paper's
+        # bottom-up marking scheme.
+        node = max(candidates, key=lambda n: len(current.ancestors(n)))
+        attr = next(iter(node.label))
+        trace.append(attr)
+        current = push_up_tree(current, attr)
+
+
+def normalise(fr: FactorisedRelation) -> FactorisedRelation:
+    """The normalisation operator ``eta`` on a factorised relation."""
+    current = fr
+    while True:
+        candidates = pushable_nodes(current.tree)
+        if not candidates:
+            return current
+        node = max(
+            candidates, key=lambda n: len(current.tree.ancestors(n))
+        )
+        current = push_up(current, next(iter(node.label)))

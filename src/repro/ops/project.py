@@ -1,0 +1,201 @@
+"""The projection operator ``pi_A`` (Section 3.4).
+
+Projection proceeds in three phases, following the paper:
+
+1. **Label reduction.**  Nodes that keep at least one attribute simply
+   shrink their label; the projected-away attributes are substituted in
+   every dependency edge by a kept representative of the same class
+   (classes share values, so dependence is preserved exactly).
+2. **Node elimination.**  Nodes whose attributes are *all* projected
+   away are first swapped down until they become leaves (the paper:
+   "we therefore swap nodes such that those with all attributes marked
+   become leaves"), then removed.  Removing a leaf drops its union
+   factor from every occurrence -- set semantics make this sound, since
+   sibling factors are untouched and parent entries stay distinct.
+   Removal merges all dependency edges meeting the node into one
+   *phantom edge* over their remaining attributes, so transitive
+   dependence survives (the A - B - C example of Section 3.4).
+3. **Normalisation**, since the structural changes may enable pushing
+   subtrees up.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, List, Sequence
+
+from repro.core.factorised import FactorisedRelation
+from repro.core.frep import ProductRep, UnionRep
+from repro.core.ftree import FNode, FTree
+from repro.ops.base import OperatorError, subtree_index
+from repro.ops.normalise import normalise, normalise_tree
+from repro.ops.swap import swap, swap_tree
+
+
+def _reduce_labels(
+    fr: FactorisedRelation, keep: AbstractSet[str]
+) -> FactorisedRelation:
+    """Phase 1: shrink partially-kept labels; rewrite edges.
+
+    Shrinking a label changes the node's canonical sort key, so tree
+    and data are rebuilt in lockstep, re-sorting siblings (and their
+    aligned factors) by the new labels at every level.
+    """
+    tree = fr.tree
+    substitution = {}
+    for node in tree.iter_nodes():
+        dropped = node.label - keep
+        kept = node.label & keep
+        if dropped and kept:
+            representative = min(kept)
+            for attr in dropped:
+                substitution[attr] = representative
+    if not substitution:
+        return fr
+
+    def node_transform(node: FNode) -> FNode:
+        kept = node.label & keep
+        label = kept if kept else node.label
+        return FNode(
+            label,
+            [node_transform(child) for child in node.children],
+            node.constant,
+        )
+
+    def data_transform(
+        nodes: Sequence[FNode], product: ProductRep
+    ) -> List[UnionRep]:
+        """Factors aligned with the re-sorted transformed forest."""
+        pairs = []
+        for node, union in zip(nodes, product.factors):
+            new_union = UnionRep(
+                (
+                    value,
+                    ProductRep(
+                        data_transform(node.children, child)
+                    ),
+                )
+                for value, child in union.entries
+            )
+            pairs.append((node_transform(node), new_union))
+        pairs.sort(key=lambda pair: tuple(sorted(pair[0].label)))
+        return [factor for _, factor in pairs]
+
+    new_edges = tree.edges.__class__(
+        frozenset(substitution.get(attr, attr) for attr in edge)
+        for edge in tree.edges
+    )
+    new_tree = FTree(
+        [node_transform(root) for root in tree.roots], new_edges
+    )
+    if fr.data is None:
+        return FactorisedRelation(new_tree, None)
+    return FactorisedRelation(
+        new_tree, ProductRep(data_transform(tree.roots, fr.data))
+    )
+
+
+def _drop_leaf(
+    fr: FactorisedRelation, node: FNode
+) -> FactorisedRelation:
+    """Phase 2b: remove a fully-marked leaf node (tree and data)."""
+    tree = fr.tree
+    new_edges = tree.edges.merge_edges_touching(node.label)
+    new_tree = tree.replace_node(node.label, []).with_edges(new_edges)
+    if fr.data is None:
+        return FactorisedRelation(new_tree, None)
+
+    anchor = next(iter(node.label))
+
+    def drop(
+        forest: Sequence[FNode], factors: Sequence[UnionRep]
+    ) -> List[UnionRep]:
+        labels = [n.label for n in forest]
+        if node.label in labels:
+            idx = labels.index(node.label)
+            return [f for k, f in enumerate(factors) if k != idx]
+        idx = subtree_index(forest, anchor)
+        inner, union = forest[idx], factors[idx]
+        out = list(factors)
+        out[idx] = UnionRep(
+            (value, ProductRep(drop(inner.children, child.factors)))
+            for value, child in union.entries
+        )
+        return out
+
+    return FactorisedRelation(
+        new_tree, ProductRep(drop(tree.roots, fr.data.factors))
+    )
+
+
+def project_tree(tree: FTree, attributes: Sequence[str]) -> FTree:
+    """Tree-level projection (shape of the result's f-tree)."""
+    keep = frozenset(attributes)
+    placeholder = FactorisedRelation(tree, None)
+    return project(placeholder, attributes).tree
+
+
+def project(
+    fr: FactorisedRelation, attributes: Sequence[str]
+) -> FactorisedRelation:
+    """Project a factorised relation onto ``attributes``."""
+    keep = frozenset(attributes)
+    unknown = keep - fr.tree.attributes()
+    if unknown:
+        raise OperatorError(
+            f"cannot project onto unknown attributes {sorted(unknown)}"
+        )
+    current = _reduce_labels(fr, keep)
+
+    # Phase 2: eliminate fully-marked nodes, bottom-most first.
+    while True:
+        marked = [
+            node
+            for node in current.tree.iter_nodes()
+            if not (node.label & keep)
+        ]
+        if not marked:
+            break
+        # Prefer a marked node with no marked node below it whose
+        # subtree is smallest -- fewer swaps to reach a leaf.
+        def depth(node: FNode) -> int:
+            return len(current.tree.ancestors(node))
+
+        candidates = [
+            node
+            for node in marked
+            if not any(
+                other.label != node.label
+                and other.label <= node.subtree_attributes()
+                for other in marked
+            )
+        ]
+        target = min(
+            candidates or marked,
+            key=lambda n: len(n.subtree_attributes()),
+        )
+        if target.children:
+            # Swap the marked node below its first child.
+            child = target.children[0]
+            if current.data is None:
+                current = FactorisedRelation(
+                    swap_tree(
+                        current.tree,
+                        next(iter(target.label)),
+                        next(iter(child.label)),
+                    ),
+                    None,
+                )
+            else:
+                current = swap(
+                    current,
+                    next(iter(target.label)),
+                    next(iter(child.label)),
+                )
+        else:
+            current = _drop_leaf(current, target)
+
+    # Phase 3: normalise.
+    if current.data is None:
+        tree, _ = normalise_tree(current.tree)
+        return FactorisedRelation(tree, None)
+    return normalise(current)

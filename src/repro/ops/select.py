@@ -1,0 +1,98 @@
+"""Selection with a constant, ``sigma_{A theta c}`` (Section 3.3).
+
+One pass over the representation removes the entries of every union of
+``A``'s node whose value fails the comparison; emptied unions prune
+their surrounding entries, cascading upward exactly like the paper's
+"if the union becomes empty ... we then remove that expression too".
+
+For an *equality* comparison the node becomes a constant: all its
+values equal ``c``, so it is independent of every other node -- its
+attributes are removed from the dependency edges, the node is marked
+``constant`` (ignored by ``s(T)``), and a normalisation pass floats it
+towards the root, as described at the end of Section 3.3.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.factorised import FactorisedRelation
+from repro.core.frep import ProductRep, UnionRep
+from repro.core.ftree import FNode, FTree
+from repro.ops.base import subtree_index
+from repro.ops.normalise import normalise, normalise_tree
+from repro.query.query import ConstantCondition
+
+
+def select_constant_tree(tree: FTree, cond: ConstantCondition) -> FTree:
+    """Tree-level effect: equality turns the node constant."""
+    node = tree.node_of(cond.attribute)
+    if cond.op != "=":
+        return tree
+    if not node.constant:
+        tree = tree.replace_node(node.label, [node.as_constant()])
+        tree = tree.with_edges(
+            tree.edges.without_attributes(node.label)
+        )
+    normalised, _ = normalise_tree(tree)
+    return normalised
+
+
+def select_constant(
+    fr: FactorisedRelation, cond: ConstantCondition
+) -> FactorisedRelation:
+    """Apply ``sigma_{A theta c}`` to a factorised relation."""
+    tree = fr.tree
+    node = tree.node_of(cond.attribute)
+    if fr.data is None:
+        return FactorisedRelation(select_constant_tree(tree, cond), None)
+
+    anchor = cond.attribute
+
+    def filter_forest(
+        forest: Sequence[FNode], factors: Sequence[UnionRep]
+    ) -> Optional[List[UnionRep]]:
+        labels = [n.label for n in forest]
+        if node.label in labels:
+            idx = labels.index(node.label)
+            union = factors[idx]
+            kept = [
+                (value, child)
+                for value, child in union.entries
+                if cond.test(value)
+            ]
+            if not kept:
+                return None
+            out = list(factors)
+            out[idx] = UnionRep(kept)
+            return out
+        idx = subtree_index(forest, anchor)
+        inner_node, union = forest[idx], factors[idx]
+        new_entries: List[Tuple[object, ProductRep]] = []
+        for value, child in union.entries:
+            res = filter_forest(inner_node.children, child.factors)
+            if res is not None:
+                new_entries.append((value, ProductRep(res)))
+        if not new_entries:
+            return None
+        out = list(factors)
+        out[idx] = UnionRep(new_entries)
+        return out
+
+    new_factors = filter_forest(tree.roots, fr.data.factors)
+    if new_factors is None:
+        return FactorisedRelation(select_constant_tree(tree, cond), None)
+    if cond.op != "=":
+        return FactorisedRelation(tree, ProductRep(new_factors))
+
+    # Equality: mark constant, drop its attributes from the dependency
+    # edges and normalise (the node floats towards the root).
+    const_tree = tree
+    if not node.constant:
+        const_tree = tree.replace_node(node.label, [node.as_constant()])
+        const_tree = const_tree.with_edges(
+            const_tree.edges.without_attributes(node.label)
+        )
+    return normalise(
+        FactorisedRelation(const_tree, ProductRep(new_factors))
+    )

@@ -1,0 +1,212 @@
+"""Exhaustive f-plan search (Section 4.2).
+
+The space of f-plans is a directed graph: vertices are normalised
+f-trees, edges are applicable operators (swaps anywhere; merges and
+absorbs only between nodes whose classes must end up merged -- "any
+valid f-plan will only merge nodes which end up merged in T_final").
+The cost of a path is the *bottleneck* ``s(f) = max_i s(T_i)``, and
+among the goal trees reachable at the minimal bottleneck we pick one
+with the smallest ``s(T_final)`` -- the lexicographic order
+``<max x <s(T)`` of Section 4.1.  Dijkstra's algorithm applies because
+the bottleneck metric is monotone along paths.
+"""
+
+from __future__ import annotations
+
+import heapq
+from fractions import Fraction
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.core.ftree import FTree
+from repro.costs.cardinality import (
+    Statistics,
+    estimate_representation_size,
+)
+from repro.costs.cost_model import s_tree
+from repro.optimiser.fplan import FPlan, Step
+from repro.query.equivalence import UnionFind
+
+
+class SearchExhausted(RuntimeError):
+    """Raised when the state cap is hit before reaching a goal."""
+
+
+def target_partition(
+    tree: FTree, equalities: List[Tuple[str, str]]
+) -> Dict[str, FrozenSet[str]]:
+    """Map each attribute to its goal class (tree classes + equalities)."""
+    uf = UnionFind(tree.attributes())
+    for node in tree.iter_nodes():
+        attrs = sorted(node.label)
+        for other in attrs[1:]:
+            uf.union(attrs[0], other)
+    for left, right in equalities:
+        uf.union(left, right)
+    return {attr: uf.class_of(attr) for attr in tree.attributes()}
+
+
+def _neighbours(
+    tree: FTree, goal: Dict[str, FrozenSet[str]]
+) -> Iterator[Tuple[Step, FTree]]:
+    """All operator applications from ``tree``."""
+    nodes = list(tree.iter_nodes())
+    # Swaps: every (parent, child) pair.
+    for node in nodes:
+        parent = tree.parent_of(node)
+        if parent is not None:
+            step = Step(
+                "swap", (min(parent.label), min(node.label))
+            )
+            yield step, step.transform_tree(tree)
+    # Merges/absorbs: pairs of nodes in the same goal class.
+    for left, right in combinations(nodes, 2):
+        if goal[min(left.label)] != goal[min(right.label)]:
+            continue
+        parent_l = tree.parent_of(left)
+        parent_r = tree.parent_of(right)
+        same_parent = (
+            (parent_l is None and parent_r is None)
+            or (
+                parent_l is not None
+                and parent_r is not None
+                and parent_l.label == parent_r.label
+            )
+        )
+        if same_parent:
+            step = Step("merge", (min(left.label), min(right.label)))
+            yield step, step.transform_tree(tree)
+        elif tree.is_ancestor(left, right):
+            step = Step("absorb", (min(left.label), min(right.label)))
+            yield step, step.transform_tree(tree)
+        elif tree.is_ancestor(right, left):
+            step = Step("absorb", (min(right.label), min(left.label)))
+            yield step, step.transform_tree(tree)
+
+
+def _is_goal(tree: FTree, goal: Dict[str, FrozenSet[str]]) -> bool:
+    return all(
+        node.label == goal[min(node.label)]
+        for node in tree.iter_nodes()
+    )
+
+
+def exhaustive_fplan(
+    tree: FTree,
+    equalities: List[Tuple[str, str]],
+    max_states: int = 200_000,
+    stats: Optional[Statistics] = None,
+) -> FPlan:
+    """Optimal f-plan for a conjunction of equality selections.
+
+    Runs Dijkstra with the bottleneck cost from the input f-tree over
+    the operator graph; explores at most ``max_states`` distinct
+    f-trees (a safety valve -- the experiments of Section 5 stay well
+    below it).
+
+    With ``stats`` given, the *estimate-based* cost measure of
+    Section 4.1 is used instead of the asymptotic one: the cost of a
+    plan is the sum of the estimated representation sizes of the
+    intermediate and final f-trees (an additive metric, equally
+    Dijkstra-compatible).  The paper reports both measures "lead to
+    very similar choices of optimal f-plans".
+    """
+    goal = target_partition(tree, equalities)
+
+    if stats is not None:
+        cost_of: Dict[tuple, float] = {}
+
+        def tree_cost(candidate: FTree):
+            key = candidate.key()
+            if key not in cost_of:
+                cost_of[key] = estimate_representation_size(
+                    candidate, stats
+                )
+            return cost_of[key]
+
+        def combine(path_cost, candidate: FTree):
+            return path_cost + tree_cost(candidate)
+
+    else:
+
+        def tree_cost(candidate: FTree):
+            return s_tree(candidate)
+
+        def combine(path_cost, candidate: FTree):
+            return max(path_cost, s_tree(candidate))
+
+    start_cost = tree_cost(tree)
+
+    #: tree key -> (bottleneck, steps-from-start)
+    dist: Dict[tuple, Tuple[Fraction, int]] = {
+        tree.key(): (start_cost, 0)
+    }
+    back: Dict[tuple, Tuple[tuple, Step, FTree]] = {}
+    counter = 0
+    frontier: List[
+        Tuple[Fraction, int, int, FTree]
+    ] = [(start_cost, 0, counter, tree)]
+
+    goals: List[Tuple[Fraction, FTree]] = []
+    best_goal_bottleneck: Optional[Fraction] = None
+    expanded = 0
+
+    while frontier:
+        bottleneck, steps, _, current = heapq.heappop(frontier)
+        if dist.get(current.key(), (None, None)) != (bottleneck, steps):
+            continue
+        if (
+            best_goal_bottleneck is not None
+            and bottleneck > best_goal_bottleneck
+        ):
+            break  # all remaining paths are strictly worse
+        if _is_goal(current, goal):
+            goals.append((bottleneck, current))
+            if best_goal_bottleneck is None:
+                best_goal_bottleneck = bottleneck
+            # Do NOT stop here: swaps from a goal reach other goal
+            # trees at the same bottleneck, possibly with a smaller
+            # final cost (the paper picks the cheapest goal among all
+            # at minimal distance).
+        expanded += 1
+        if expanded > max_states:
+            if goals:
+                break
+            raise SearchExhausted(
+                f"no f-plan found within {max_states} states"
+            )
+        for step, neighbour in _neighbours(current, goal):
+            cost = combine(bottleneck, neighbour)
+            key = neighbour.key()
+            known = dist.get(key)
+            if known is None or (cost, steps + 1) < known:
+                dist[key] = (cost, steps + 1)
+                counter += 1
+                back[key] = (current.key(), step, neighbour)
+                heapq.heappush(
+                    frontier, (cost, steps + 1, counter, neighbour)
+                )
+
+    if not goals:
+        raise SearchExhausted("goal f-tree unreachable")
+
+    # Lexicographic choice: minimal bottleneck, then minimal s(T_final).
+    min_bottleneck = min(bottleneck for bottleneck, _ in goals)
+    final = min(
+        (
+            candidate
+            for bottleneck, candidate in goals
+            if bottleneck == min_bottleneck
+        ),
+        key=lambda t: (tree_cost(t), dist[t.key()][1]),
+    )
+
+    # Reconstruct the step sequence.
+    steps_rev: List[Step] = []
+    key = final.key()
+    while key != tree.key():
+        prev_key, step, _ = back[key]
+        steps_rev.append(step)
+        key = prev_key
+    steps_rev.reverse()
+    return FPlan(tree, steps_rev)

@@ -1,0 +1,72 @@
+"""Enumeration of the normalised f-trees of a query.
+
+Valid f-trees of a query are rooted forests over the attribute classes
+that satisfy the path constraint.  For *normalised* trees the space has
+a clean recursive structure: the forest has exactly one tree per
+edge-connected component of the classes, and within a component any
+class can be the root, with the components of the remainder becoming
+the children subtrees (each such component necessarily touches the
+root through the edge that connected it, so normalisation holds by
+construction).
+
+This module is used by the tests (exhaustive cross-checks of the DP
+optimiser) and by :mod:`repro.optimiser.ftree_optimiser` for tiny
+inputs; the DP in that module explores the same space with memoisation
+and symmetry reduction instead of materialising it.
+"""
+
+from __future__ import annotations
+
+from itertools import product as iproduct
+from typing import FrozenSet, Iterator, List, Sequence, Tuple
+
+from repro.core.ftree import FNode, FTree
+from repro.query.hypergraph import Hypergraph
+
+Label = FrozenSet[str]
+
+
+def _component_trees(
+    labels: Tuple[Label, ...], edges: Hypergraph
+) -> Iterator[FNode]:
+    """All normalised subtrees over one edge-connected component."""
+    for root in labels:
+        rest = tuple(lab for lab in labels if lab != root)
+        if not rest:
+            yield FNode(root)
+            continue
+        subcomponents = edges.components(list(rest))
+        generators = [
+            list(_component_trees(tuple(sub), edges))
+            for sub in subcomponents
+        ]
+        for combo in iproduct(*generators):
+            yield FNode(root, list(combo))
+
+
+def enumerate_normalised_ftrees(
+    classes: Sequence[Label], edges: Hypergraph
+) -> Iterator[FTree]:
+    """Yield every normalised f-tree over ``classes`` w.r.t. ``edges``.
+
+    >>> from repro.query.hypergraph import Hypergraph
+    >>> h = Hypergraph([{"a", "b"}])
+    >>> trees = list(enumerate_normalised_ftrees(
+    ...     [frozenset({"a"}), frozenset({"b"})], h))
+    >>> len(trees)  # chain a-b and chain b-a
+    2
+    """
+    components = edges.components(list(classes))
+    generators = [
+        list(_component_trees(tuple(comp), edges))
+        for comp in components
+    ]
+    for combo in iproduct(*generators):
+        yield FTree(list(combo), edges)
+
+
+def count_normalised_ftrees(
+    classes: Sequence[Label], edges: Hypergraph
+) -> int:
+    """Number of normalised f-trees (for experiment reporting)."""
+    return sum(1 for _ in enumerate_normalised_ftrees(classes, edges))

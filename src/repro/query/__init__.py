@@ -1,0 +1,34 @@
+"""Select-project-join query model.
+
+This subpackage hosts the *logical* query layer shared by the flat
+relational engine (RDB) and the factorised engine (FDB):
+
+- :mod:`repro.query.query` -- the SPJ query data model (equality joins,
+  constant selections, projections);
+- :mod:`repro.query.equivalence` -- union-find over attributes, used to
+  derive the attribute equivalence classes that label f-tree nodes;
+- :mod:`repro.query.hypergraph` -- the query hypergraph (attributes as
+  vertices, relation schemas as hyperedges) with the connectivity and
+  chain primitives needed by the path constraint;
+- :mod:`repro.query.parser` -- a small SQL-like surface syntax.
+"""
+
+from repro.query.equivalence import UnionFind
+from repro.query.hypergraph import Hypergraph
+from repro.query.query import (
+    ConstantCondition,
+    EqualityCondition,
+    Query,
+    QueryError,
+)
+from repro.query.parser import parse_query
+
+__all__ = [
+    "ConstantCondition",
+    "EqualityCondition",
+    "Hypergraph",
+    "parse_query",
+    "Query",
+    "QueryError",
+    "UnionFind",
+]

@@ -1,0 +1,102 @@
+"""Union-find (disjoint sets) over hashable items.
+
+Attribute equivalence classes are the backbone of the paper's query
+model: every f-tree node is labelled by one equivalence class of
+attributes (Section 2, "F-trees of a query"), and equality conditions
+merge classes.  The structure below is a classic union-find with path
+compression and union by size, plus helpers to extract the classes as
+canonical ``frozenset`` labels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List
+
+
+class UnionFind:
+    """Disjoint-set forest over arbitrary hashable items.
+
+    >>> uf = UnionFind(["a", "b", "c"])
+    >>> uf.union("a", "b")
+    True
+    >>> uf.connected("a", "b")
+    True
+    >>> sorted(sorted(c) for c in uf.classes())
+    [['a', 'b'], ['c']]
+    """
+
+    def __init__(self, items: Iterable[Hashable] = ()) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._size: Dict[Hashable, int] = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item: Hashable) -> None:
+        """Register ``item`` as its own singleton class (idempotent)."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._parent)
+
+    def find(self, item: Hashable) -> Hashable:
+        """Return the canonical representative of ``item``'s class."""
+        if item not in self._parent:
+            raise KeyError(f"unknown item {item!r}")
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, left: Hashable, right: Hashable) -> bool:
+        """Merge the classes of ``left`` and ``right``.
+
+        Returns ``True`` if the classes were distinct (the merge was
+        "non-redundant" in the paper's terminology), ``False`` if the
+        two items were already equivalent.
+        """
+        self.add(left)
+        self.add(right)
+        root_l, root_r = self.find(left), self.find(right)
+        if root_l == root_r:
+            return False
+        if self._size[root_l] < self._size[root_r]:
+            root_l, root_r = root_r, root_l
+        self._parent[root_r] = root_l
+        self._size[root_l] += self._size[root_r]
+        return True
+
+    def connected(self, left: Hashable, right: Hashable) -> bool:
+        """True iff ``left`` and ``right`` are in the same class."""
+        return self.find(left) == self.find(right)
+
+    def classes(self) -> List[FrozenSet[Hashable]]:
+        """Return all equivalence classes as frozensets."""
+        by_root: Dict[Hashable, set] = {}
+        for item in self._parent:
+            by_root.setdefault(self.find(item), set()).add(item)
+        return [frozenset(members) for members in by_root.values()]
+
+    def class_of(self, item: Hashable) -> FrozenSet[Hashable]:
+        """Return the class containing ``item`` as a frozenset."""
+        root = self.find(item)
+        return frozenset(
+            other for other in self._parent if self.find(other) == root
+        )
+
+    def copy(self) -> "UnionFind":
+        """Return an independent copy of this structure."""
+        clone = UnionFind()
+        clone._parent = dict(self._parent)
+        clone._size = dict(self._size)
+        return clone

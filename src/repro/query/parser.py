@@ -1,0 +1,152 @@
+"""A small SQL-like surface syntax for SPJ queries.
+
+The engine's native interface is :class:`repro.query.Query`; this parser
+is a convenience for the examples and tests.  It supports exactly the
+query fragment of the paper -- select-project-join with conjunctive
+equality and constant conditions:
+
+    SELECT * FROM Orders, Store WHERE o_item = s_item AND s_loc = 'Izmir'
+    SELECT a, b FROM R, S WHERE a = c AND b >= 3
+
+Grammar (case-insensitive keywords)::
+
+    query      := SELECT proj FROM rels [WHERE conds]
+    proj       := '*' | name (',' name)*
+    rels       := name (',' name)*
+    conds      := cond (AND cond)*
+    cond       := name op (name | literal)
+    op         := '=' | '!=' | '<' | '<=' | '>' | '>='
+    literal    := integer | quoted string
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.query.query import Query, QueryError
+
+_TOKEN = re.compile(
+    r"""\s*(?:
+        (?P<kw>SELECT|FROM|WHERE|AND)\b
+      | (?P<op><=|>=|!=|=|<|>)
+      | (?P<num>-?\d+)
+      | (?P<str>'[^']*'|"[^"]*")
+      | (?P<name>[A-Za-z_][A-Za-z0-9_.]*)
+      | (?P<comma>,)
+      | (?P<star>\*)
+    )""",
+    re.IGNORECASE | re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            if text[pos:].strip():
+                raise QueryError(f"cannot tokenize near {text[pos:pos+20]!r}")
+            break
+        pos = match.end()
+        for kind in ("kw", "op", "num", "str", "name", "comma", "star"):
+            value = match.group(kind)
+            if value is not None:
+                if kind == "kw":
+                    value = value.upper()
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+class _Cursor:
+    def __init__(self, tokens: List[Tuple[str, str]]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise QueryError("unexpected end of query")
+        self.index += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> str:
+        got_kind, got_value = self.next()
+        if got_kind != kind or (value is not None and got_value != value):
+            raise QueryError(
+                f"expected {value or kind}, got {got_value!r}"
+            )
+        return got_value
+
+
+def _parse_name_list(cursor: _Cursor) -> List[str]:
+    names = [cursor.expect("name")]
+    while cursor.peek() == ("comma", ","):
+        cursor.next()
+        names.append(cursor.expect("name"))
+    return names
+
+
+def parse_query(text: str) -> Query:
+    """Parse an SQL-like string into a :class:`Query`.
+
+    >>> q = parse_query("SELECT * FROM R, S WHERE a = b AND c = 3")
+    >>> q.relations
+    ('R', 'S')
+    >>> str(q.equalities[0]), q.constants[0].value
+    ('a = b', 3)
+    """
+    cursor = _Cursor(_tokenize(text))
+    cursor.expect("kw", "SELECT")
+
+    projection: Optional[List[str]]
+    if cursor.peek() == ("star", "*"):
+        cursor.next()
+        projection = None
+    else:
+        projection = _parse_name_list(cursor)
+
+    cursor.expect("kw", "FROM")
+    relations = _parse_name_list(cursor)
+
+    equalities: List[Tuple[str, str]] = []
+    constants: List[Tuple[str, str, object]] = []
+    if cursor.peek() == ("kw", "WHERE"):
+        cursor.next()
+        while True:
+            left = cursor.expect("name")
+            op = cursor.expect("op")
+            kind, value = cursor.next()
+            if kind == "name":
+                if op != "=":
+                    raise QueryError(
+                        "only '=' is supported between two attributes"
+                    )
+                equalities.append((left, value))
+            elif kind == "num":
+                constants.append((left, op, int(value)))
+            elif kind == "str":
+                constants.append((left, op, value[1:-1]))
+            else:
+                raise QueryError(f"unexpected token {value!r} in condition")
+            if cursor.peek() == ("kw", "AND"):
+                cursor.next()
+                continue
+            break
+
+    if cursor.peek() is not None:
+        raise QueryError(f"trailing tokens: {cursor.peek()!r}")
+
+    return Query.make(
+        relations,
+        equalities=equalities,
+        constants=constants,
+        projection=projection,
+    )

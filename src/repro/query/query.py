@@ -1,0 +1,199 @@
+"""The select-project-join query data model.
+
+A :class:`Query` is the paper's ``Q = pi_P sigma_phi (R1 x ... x Rn)``:
+a list of relation names, a conjunction of equality conditions between
+attributes (equi-joins *and* intra-relation equality selections are
+treated uniformly, cf. Section 3.3), a conjunction of comparisons with
+constants, and an optional projection list.
+
+Attribute names are globally unique across a database schema (the
+workload generators guarantee this; the parser qualifies names where
+needed), so conditions are expressed on bare attribute names.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.query.equivalence import UnionFind
+
+
+class QueryError(ValueError):
+    """Raised for malformed queries (unknown attributes, bad operators)."""
+
+
+#: Comparison operators supported in constant conditions.
+COMPARATORS: Dict[str, Callable[[object, object], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+@dataclass(frozen=True)
+class EqualityCondition:
+    """An equality ``left = right`` between two attributes."""
+
+    left: str
+    right: str
+
+    def __post_init__(self) -> None:
+        if self.left == self.right:
+            raise QueryError(f"trivial equality {self.left} = {self.right}")
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset((self.left, self.right))
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class ConstantCondition:
+    """A comparison ``attribute <op> value`` with a constant."""
+
+    attribute: str
+    op: str
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARATORS:
+            raise QueryError(f"unsupported comparator {self.op!r}")
+
+    def test(self, value: object) -> bool:
+        """Evaluate the condition on a single attribute value."""
+        return COMPARATORS[self.op](value, self.value)
+
+    def __str__(self) -> str:
+        return f"{self.attribute} {self.op} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A select-project-join query.
+
+    Parameters
+    ----------
+    relations:
+        Names of the relations joined (a Cartesian product before the
+        selection conditions are applied).
+    equalities:
+        Conjunction of attribute-attribute equalities.
+    constants:
+        Conjunction of attribute-constant comparisons.
+    projection:
+        Attributes to keep, or ``None`` for "all attributes".
+    """
+
+    relations: Tuple[str, ...]
+    equalities: Tuple[EqualityCondition, ...] = ()
+    constants: Tuple[ConstantCondition, ...] = ()
+    projection: Optional[Tuple[str, ...]] = None
+
+    @staticmethod
+    def make(
+        relations: Sequence[str],
+        equalities: Iterable[Tuple[str, str]] = (),
+        constants: Iterable[Tuple[str, str, object]] = (),
+        projection: Optional[Sequence[str]] = None,
+    ) -> "Query":
+        """Convenience constructor from plain tuples.
+
+        >>> q = Query.make(["R", "S"], equalities=[("a", "b")])
+        >>> str(q.equalities[0])
+        'a = b'
+        """
+        return Query(
+            relations=tuple(relations),
+            equalities=tuple(
+                EqualityCondition(left, right) for left, right in equalities
+            ),
+            constants=tuple(
+                ConstantCondition(attr, op, value)
+                for attr, op, value in constants
+            ),
+            projection=None if projection is None else tuple(projection),
+        )
+
+    def attribute_classes(
+        self, attributes: Iterable[str]
+    ) -> List[FrozenSet[str]]:
+        """Equivalence classes of ``attributes`` under the equalities.
+
+        Every attribute of the queried relations labels exactly one
+        class; equality conditions merge classes transitively.
+        """
+        uf = UnionFind(attributes)
+        for eq in self.equalities:
+            if eq.left not in uf or eq.right not in uf:
+                missing = eq.left if eq.left not in uf else eq.right
+                raise QueryError(f"equality on unknown attribute {missing!r}")
+        for eq in self.equalities:
+            uf.union(eq.left, eq.right)
+        return sorted(uf.classes(), key=lambda c: tuple(sorted(c)))
+
+    def class_partition(
+        self, attributes: Iterable[str]
+    ) -> FrozenSet[FrozenSet[str]]:
+        """The classes as a canonical frozenset-of-frozensets."""
+        return frozenset(self.attribute_classes(attributes))
+
+    def nonredundant_equalities(
+        self, attributes: Iterable[str]
+    ) -> Tuple[EqualityCondition, ...]:
+        """Drop equalities already implied by earlier ones.
+
+        The experiments of Section 5 use "non-redundant" conjunctions:
+        each condition merges two previously distinct classes.
+        """
+        uf = UnionFind(attributes)
+        kept: List[EqualityCondition] = []
+        for eq in self.equalities:
+            if uf.union(eq.left, eq.right):
+                kept.append(eq)
+        return tuple(kept)
+
+    def validate_against(self, schema: Mapping[str, Sequence[str]]) -> None:
+        """Check the query against ``schema`` (relation -> attributes).
+
+        Raises :class:`QueryError` for unknown relations/attributes or
+        a projection of an attribute that is not produced.
+        """
+        known: set = set()
+        for name in self.relations:
+            if name not in schema:
+                raise QueryError(f"unknown relation {name!r}")
+            known.update(schema[name])
+        for eq in self.equalities:
+            for attr in (eq.left, eq.right):
+                if attr not in known:
+                    raise QueryError(f"unknown attribute {attr!r}")
+        for cond in self.constants:
+            if cond.attribute not in known:
+                raise QueryError(f"unknown attribute {cond.attribute!r}")
+        if self.projection is not None:
+            for attr in self.projection:
+                if attr not in known:
+                    raise QueryError(f"cannot project unknown {attr!r}")
+
+    def __str__(self) -> str:
+        conds = [str(eq) for eq in self.equalities]
+        conds += [str(c) for c in self.constants]
+        proj = "*" if self.projection is None else ", ".join(self.projection)
+        where = f" WHERE {' AND '.join(conds)}" if conds else ""
+        return f"SELECT {proj} FROM {', '.join(self.relations)}{where}"

@@ -1,0 +1,33 @@
+"""Flat relational substrate: the "RDB" baseline engine of the paper.
+
+The paper compares FDB against a homebred in-memory relational engine
+(RDB) plus SQLite and PostgreSQL.  This subpackage is that substrate:
+
+- :mod:`repro.relational.schema` / :mod:`relation` -- schemas and
+  in-memory relations (sorted tuple storage, set semantics);
+- :mod:`repro.relational.database` -- a named catalogue of relations
+  with the statistics used by the cardinality-based cost model;
+- :mod:`repro.relational.operators` -- selection, projection, product,
+  sort-merge and hash equi-joins;
+- :mod:`repro.relational.engine` -- the RDB query engine: multi-way
+  joins with a greedy, estimate-driven join order (the "hand-crafted
+  optimised query plan" stand-in);
+- :mod:`repro.relational.sqlite_engine` -- the SQLite comparator, tuned
+  for main-memory operation exactly as in Section 5;
+- :mod:`repro.relational.csvio` -- plain-text I/O.
+"""
+
+from repro.relational.schema import RelationSchema, SchemaError
+from repro.relational.relation import Relation
+from repro.relational.database import Database
+from repro.relational.engine import RelationalEngine
+from repro.relational.sqlite_engine import SQLiteEngine
+
+__all__ = [
+    "Database",
+    "Relation",
+    "RelationalEngine",
+    "RelationSchema",
+    "SchemaError",
+    "SQLiteEngine",
+]

@@ -1,0 +1,78 @@
+"""Evaluation budgets: wall-clock timeouts and row caps.
+
+Section 5 runs the relational engines with a 100-second timeout, which
+several configurations exceed ("no plotted data points").  The budget
+object reproduces that protocol: operators periodically call
+:meth:`Budget.check` and abort with :class:`BudgetExceeded` when the
+deadline or the row cap is crossed, so a benchmark can record a DNF
+instead of hanging.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class BudgetExceeded(RuntimeError):
+    """Raised when an evaluation exceeds its time or size budget."""
+
+
+class Budget:
+    """A cooperative evaluation budget.
+
+    Parameters
+    ----------
+    timeout_seconds:
+        Wall-clock limit from the moment of construction (or the last
+        :meth:`restart`); ``None`` disables the time check.
+    max_rows:
+        Cap on the number of rows any single operator may produce;
+        ``None`` disables the cap.
+    """
+
+    #: How many row-productions between clock reads (keeps overhead low).
+    CHECK_EVERY = 4096
+
+    def __init__(
+        self,
+        timeout_seconds: Optional[float] = None,
+        max_rows: Optional[int] = None,
+    ) -> None:
+        self.timeout_seconds = timeout_seconds
+        self.max_rows = max_rows
+        self._deadline: Optional[float] = None
+        self._ticks = 0
+        self.restart()
+
+    def restart(self) -> None:
+        """Restart the wall clock (call at the start of a query)."""
+        if self.timeout_seconds is not None:
+            self._deadline = time.perf_counter() + self.timeout_seconds
+        else:
+            self._deadline = None
+        self._ticks = 0
+
+    def check(self, rows_so_far: int = 0) -> None:
+        """Raise :class:`BudgetExceeded` if any limit is crossed."""
+        if self.max_rows is not None and rows_so_far > self.max_rows:
+            raise BudgetExceeded(
+                f"row cap exceeded: {rows_so_far} > {self.max_rows}"
+            )
+        if self._deadline is not None:
+            self._ticks += 1
+            if self._ticks % self.CHECK_EVERY == 0:
+                if time.perf_counter() > self._deadline:
+                    raise BudgetExceeded(
+                        f"timeout after {self.timeout_seconds}s"
+                    )
+
+    def check_now(self) -> None:
+        """Unconditional deadline check (between operators)."""
+        if self._deadline is not None:
+            if time.perf_counter() > self._deadline:
+                raise BudgetExceeded(f"timeout after {self.timeout_seconds}s")
+
+
+#: A budget that never trips, used as the default everywhere.
+UNLIMITED = Budget()

@@ -1,0 +1,84 @@
+"""Plain-text I/O for relations and databases.
+
+The paper's FDB and RDB "use the plain text format" to read their
+inputs; this module provides the equivalent: whitespace/comma separated
+value files with a header line of attribute names.  Values that parse
+as integers are loaded as ``int`` (the experiments use 8-byte integer
+singletons), everything else stays a string.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import Iterable, List, Sequence
+
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+def _coerce(token: str) -> object:
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def load_relation_text(
+    name: str, text: str, delimiter: str = ","
+) -> Relation:
+    """Parse a relation from CSV text with a header row.
+
+    >>> r = load_relation_text("R", "a,b\\n1,2\\n3,x\\n")
+    >>> list(r)
+    [(1, 2), (3, 'x')]
+    """
+    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    rows = [row for row in reader if row]
+    if not rows:
+        raise ValueError(f"empty input for relation {name!r}")
+    header = [token.strip() for token in rows[0]]
+    data = [
+        tuple(_coerce(token.strip()) for token in row) for row in rows[1:]
+    ]
+    return Relation.from_rows(name, header, data)
+
+
+def load_relation(path: str, name: str = "", delimiter: str = ",") -> Relation:
+    """Load a relation from a CSV file; name defaults to the stem."""
+    if not name:
+        name = os.path.splitext(os.path.basename(path))[0]
+    with open(path, "r", encoding="utf-8") as handle:
+        return load_relation_text(name, handle.read(), delimiter)
+
+
+def dump_relation(relation: Relation, path: str, delimiter: str = ",") -> None:
+    """Write a relation as CSV with a header row."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(relation.attributes)
+        writer.writerows(relation.rows)
+
+
+def load_database(
+    paths: Sequence[str], delimiter: str = ","
+) -> Database:
+    """Load several CSV files into one database."""
+    db = Database()
+    for path in paths:
+        db.add(load_relation(path, delimiter=delimiter))
+    return db
+
+
+def dump_database(
+    database: Database, directory: str, delimiter: str = ","
+) -> List[str]:
+    """Write every relation to ``directory``; returns the paths."""
+    os.makedirs(directory, exist_ok=True)
+    paths: List[str] = []
+    for relation in database:
+        path = os.path.join(directory, f"{relation.name}.csv")
+        dump_relation(relation, path, delimiter)
+        paths.append(path)
+    return paths

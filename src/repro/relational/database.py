@@ -1,0 +1,123 @@
+"""A named catalogue of relations plus the statistics catalog.
+
+The database enforces the global-attribute-name convention (an
+attribute belongs to exactly one relation) and exposes the cardinality
+and distinct-value statistics used by the estimate-based cost measure
+of Section 4.1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema, SchemaError
+
+
+class Database:
+    """A collection of relations with globally unique attribute names.
+
+    >>> db = Database()
+    >>> _ = db.add_rows("R", ("a", "b"), [(1, 2)])
+    >>> db.relation_of("a").name
+    'R'
+    >>> db.total_size
+    1
+    """
+
+    def __init__(self, relations: Iterable[Relation] = ()) -> None:
+        self._relations: Dict[str, Relation] = {}
+        self._attr_owner: Dict[str, str] = {}
+        for relation in relations:
+            self.add(relation)
+
+    def add(self, relation: Relation) -> Relation:
+        """Register ``relation``; checks name/attribute uniqueness."""
+        if relation.name in self._relations:
+            raise SchemaError(f"duplicate relation name {relation.name!r}")
+        for attr in relation.attributes:
+            owner = self._attr_owner.get(attr)
+            if owner is not None:
+                raise SchemaError(
+                    f"attribute {attr!r} already belongs to {owner!r}"
+                )
+        self._relations[relation.name] = relation
+        for attr in relation.attributes:
+            self._attr_owner[attr] = relation.name
+        return relation
+
+    def add_rows(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        rows: Iterable[Sequence[object]],
+    ) -> Relation:
+        """Build and register a relation from raw rows."""
+        return self.add(Relation.from_rows(name, attributes, rows))
+
+    def add_renamed(
+        self, source: str, new_name: str, mapping: Mapping[str, str]
+    ) -> Relation:
+        """Register a renamed copy of ``source`` (for self-joins)."""
+        relation = self[source].renamed(new_name, dict(mapping))
+        return self.add(relation)
+
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._relations)
+
+    @property
+    def total_size(self) -> int:
+        """Total number of tuples, the paper's ``|D|``."""
+        return sum(len(r) for r in self._relations.values())
+
+    def schema(self) -> Dict[str, Tuple[str, ...]]:
+        """Mapping relation name -> attribute tuple."""
+        return {
+            name: rel.attributes for name, rel in self._relations.items()
+        }
+
+    def relation_of(self, attribute: str) -> Relation:
+        """The unique relation owning ``attribute``."""
+        owner = self._attr_owner.get(attribute)
+        if owner is None:
+            raise SchemaError(f"attribute {attribute!r} not in database")
+        return self._relations[owner]
+
+    def attributes(self) -> List[str]:
+        """All attribute names across all relations."""
+        return list(self._attr_owner)
+
+    # -- statistics for the estimate-based cost measure ------------------
+
+    def cardinality(self, name: str) -> int:
+        return len(self[name])
+
+    def distinct(self, attribute: str) -> int:
+        """Distinct count of ``attribute`` in its owning relation."""
+        return self.relation_of(attribute).distinct_count(attribute)
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Full catalogue snapshot: sizes and per-attribute distincts."""
+        out: Dict[str, Dict[str, int]] = {}
+        for name, relation in self._relations.items():
+            entry = {"__cardinality__": len(relation)}
+            for attr in relation.attributes:
+                entry[attr] = relation.distinct_count(attr)
+            out[name] = entry
+        return out

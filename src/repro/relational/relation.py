@@ -1,0 +1,153 @@
+"""In-memory relations with set semantics and sorted tuple storage.
+
+The paper's RDB engine receives its relations sorted, enabling optimal
+multi-way sort-merge join plans (Section 5, "Competing Engines").  We
+keep the same invariant: a :class:`Relation` stores distinct tuples in
+lexicographic order, so merge-based operators can rely on the order
+without re-sorting.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.relational.schema import RelationSchema, SchemaError
+
+Row = Tuple[object, ...]
+
+
+class Relation:
+    """A sorted, duplicate-free in-memory relation.
+
+    >>> r = Relation.from_rows("R", ("a", "b"), [(2, 1), (1, 2), (2, 1)])
+    >>> list(r)
+    [(1, 2), (2, 1)]
+    >>> r.cardinality
+    2
+    """
+
+    __slots__ = ("schema", "_rows", "_distinct_cache")
+
+    def __init__(self, schema: RelationSchema, rows: List[Row]) -> None:
+        """Build from ``rows`` assumed sorted and distinct.
+
+        Use :meth:`from_rows` for unsorted input.
+        """
+        self.schema = schema
+        self._rows = rows
+        self._distinct_cache: Dict[str, int] = {}
+
+    @staticmethod
+    def from_rows(
+        name: str,
+        attributes: Sequence[str],
+        rows: Iterable[Sequence[object]],
+    ) -> "Relation":
+        """Normalise arbitrary row input: tuple-ify, dedupe, sort."""
+        schema = RelationSchema(name, tuple(attributes))
+        normalised = sorted({tuple(row) for row in rows})
+        for row in normalised:
+            if len(row) != schema.arity:
+                raise SchemaError(
+                    f"row {row!r} does not match arity {schema.arity} "
+                    f"of {name!r}"
+                )
+        return Relation(schema, normalised)
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        return self.schema.attributes
+
+    @property
+    def cardinality(self) -> int:
+        return len(self._rows)
+
+    @property
+    def rows(self) -> List[Row]:
+        """The sorted tuple list (do not mutate)."""
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: Sequence[object]) -> bool:
+        import bisect
+
+        key = tuple(row)
+        idx = bisect.bisect_left(self._rows, key)
+        return idx < len(self._rows) and self._rows[idx] == key
+
+    def __eq__(self, other: object) -> bool:
+        """Equality as sets of tuples over the same attribute set."""
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if set(self.attributes) != set(other.attributes):
+            return False
+        if self.attributes == other.attributes:
+            return self._rows == other._rows
+        # Align attribute order before comparing.
+        perm = [other.schema.index_of(a) for a in self.attributes]
+        reordered = sorted(tuple(row[i] for i in perm) for row in other)
+        return self._rows == reordered
+
+    def __repr__(self) -> str:
+        return (
+            f"Relation({self.name!r}, {self.attributes}, "
+            f"{self.cardinality} rows)"
+        )
+
+    def distinct_count(self, attribute: str) -> int:
+        """Number of distinct values of ``attribute`` (cached)."""
+        if attribute not in self._distinct_cache:
+            idx = self.schema.index_of(attribute)
+            self._distinct_cache[attribute] = len(
+                {row[idx] for row in self._rows}
+            )
+        return self._distinct_cache[attribute]
+
+    def values(self, attribute: str) -> List[object]:
+        """Sorted distinct values of ``attribute``."""
+        idx = self.schema.index_of(attribute)
+        return sorted({row[idx] for row in self._rows})
+
+    def renamed(
+        self, new_name: str, mapping: Optional[Dict[str, str]] = None
+    ) -> "Relation":
+        """Copy with renamed relation/attributes; rows are shared."""
+        return Relation(
+            self.schema.renamed(new_name, mapping or {}), self._rows
+        )
+
+    def sorted_by(self, attributes: Sequence[str]) -> List[Row]:
+        """Rows sorted by the given attributes first (stable)."""
+        positions = [self.schema.index_of(a) for a in attributes]
+        return sorted(
+            self._rows, key=lambda row: tuple(row[p] for p in positions)
+        )
+
+    def head(self, n: int = 10) -> List[Row]:
+        """First ``n`` rows, for display."""
+        return self._rows[:n]
+
+    def pretty(self, limit: int = 10) -> str:
+        """A small fixed-width rendering for examples and docs."""
+        header = " | ".join(self.attributes)
+        rule = "-" * len(header)
+        body = [" | ".join(str(v) for v in row) for row in self.head(limit)]
+        suffix = [] if len(self) <= limit else [f"... ({len(self)} rows)"]
+        return "\n".join([header, rule, *body, *suffix])

@@ -1,0 +1,90 @@
+"""Relation schemas.
+
+A schema is an ordered tuple of globally-unique attribute names.  The
+paper treats attributes positionally within a relation but identifies
+them globally for join conditions; we follow that convention, so two
+relations in one database never share an attribute name (self-joins are
+expressed by registering a renamed copy, see
+:meth:`repro.relational.database.Database.add_renamed`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Sequence, Tuple
+
+
+class SchemaError(ValueError):
+    """Raised for malformed schemas or schema mismatches."""
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """An ordered relation schema: a name plus attribute names.
+
+    >>> s = RelationSchema("R", ("a", "b"))
+    >>> s.index_of("b")
+    1
+    >>> s.project(["b"]).attributes
+    ('b',)
+    """
+
+    name: str
+    attributes: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relation name must be non-empty")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise SchemaError(
+                f"duplicate attribute in schema of {self.name!r}: "
+                f"{self.attributes}"
+            )
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.attributes)
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self.attributes
+
+    def index_of(self, attribute: str) -> int:
+        """Position of ``attribute`` in the schema."""
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise SchemaError(
+                f"attribute {attribute!r} not in relation {self.name!r} "
+                f"with schema {self.attributes}"
+            ) from None
+
+    def positions(self) -> Dict[str, int]:
+        """Mapping attribute -> position."""
+        return {attr: i for i, attr in enumerate(self.attributes)}
+
+    def project(self, attributes: Sequence[str]) -> "RelationSchema":
+        """Schema restricted to ``attributes`` (kept in the given order)."""
+        for attr in attributes:
+            self.index_of(attr)
+        return RelationSchema(self.name, tuple(attributes))
+
+    def renamed(
+        self, new_name: str, mapping: Dict[str, str]
+    ) -> "RelationSchema":
+        """Rename the relation and attributes through ``mapping``."""
+        return RelationSchema(
+            new_name,
+            tuple(mapping.get(attr, attr) for attr in self.attributes),
+        )
+
+    def concat(self, other: "RelationSchema", name: str) -> "RelationSchema":
+        """Schema of the Cartesian product with ``other``."""
+        overlap = set(self.attributes) & set(other.attributes)
+        if overlap:
+            raise SchemaError(
+                f"product schemas overlap on {sorted(overlap)}"
+            )
+        return RelationSchema(name, self.attributes + other.attributes)

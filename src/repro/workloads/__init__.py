@@ -1,0 +1,39 @@
+"""Workload generators for the experiments of Section 5."""
+
+from repro.workloads.generator import (
+    attribute_name,
+    combinatorial_database,
+    random_database,
+    random_equalities,
+    random_followup_equalities,
+    random_query,
+    split_attributes,
+    zipf_values,
+)
+from repro.workloads.grocery import (
+    grocery_database,
+    query_q1,
+    query_q2,
+    tree_t1,
+    tree_t2,
+    tree_t3,
+    tree_t4,
+)
+
+__all__ = [
+    "attribute_name",
+    "combinatorial_database",
+    "grocery_database",
+    "query_q1",
+    "query_q2",
+    "random_database",
+    "random_equalities",
+    "random_followup_equalities",
+    "random_query",
+    "split_attributes",
+    "tree_t1",
+    "tree_t2",
+    "tree_t3",
+    "tree_t4",
+    "zipf_values",
+]

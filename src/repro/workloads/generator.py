@@ -1,0 +1,180 @@
+"""Synthetic workload generators reproducing Section 5's design.
+
+"We generate R relations and distribute uniformly A attributes over
+them.  Each relation has a given number of tuples, each value is a
+natural number generated from 1 to M using uniform or Zipf
+distribution.  The queries are equi-joins over all of these relations.
+Their selections are conjunctions of K non-redundant equalities."
+
+All generators take explicit seeds, so every benchmark run is
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.ftree import FTree
+from repro.query.equivalence import UnionFind
+from repro.query.query import Query
+from repro.relational.database import Database
+
+
+def attribute_name(index: int) -> str:
+    """Canonical attribute names: a00, a01, ..."""
+    return f"a{index:02d}"
+
+
+def split_attributes(total: int, relations: int) -> List[List[str]]:
+    """Distribute ``total`` attribute names uniformly over relations."""
+    if relations <= 0 or total < relations:
+        raise ValueError(
+            f"cannot spread {total} attributes over {relations} relations"
+        )
+    names = [attribute_name(i) for i in range(total)]
+    base, extra = divmod(total, relations)
+    out: List[List[str]] = []
+    start = 0
+    for r in range(relations):
+        width = base + (1 if r < extra else 0)
+        out.append(names[start : start + width])
+        start += width
+    return out
+
+
+def zipf_values(
+    rng: random.Random, count: int, domain: int, exponent: float = 1.0
+) -> List[int]:
+    """Bounded Zipf samples over [1, domain] with the given exponent."""
+    weights = [1.0 / (k**exponent) for k in range(1, domain + 1)]
+    return rng.choices(range(1, domain + 1), weights=weights, k=count)
+
+
+def random_database(
+    relations: int,
+    attributes: int,
+    tuples: int,
+    domain: int = 100,
+    distribution: str = "uniform",
+    seed: int = 0,
+    arities: Optional[Sequence[int]] = None,
+    sizes: Optional[Sequence[int]] = None,
+) -> Database:
+    """A random database in the style of Experiments 1-4.
+
+    ``arities``/``sizes`` override the uniform attribute spread and the
+    per-relation tuple count (used by the combinatorial dataset of
+    Figure 7, right column).
+    """
+    if distribution not in ("uniform", "zipf"):
+        raise ValueError(f"unknown distribution {distribution!r}")
+    rng = random.Random(seed)
+    if arities is None:
+        schemas = split_attributes(attributes, relations)
+    else:
+        if sum(arities) != attributes:
+            raise ValueError("arities must sum to the attribute count")
+        names = [attribute_name(i) for i in range(attributes)]
+        schemas, start = [], 0
+        for width in arities:
+            schemas.append(names[start : start + width])
+            start += width
+    db = Database()
+    for r, attrs in enumerate(schemas):
+        n = tuples if sizes is None else sizes[r]
+        width = len(attrs)
+        if distribution == "uniform":
+            flat = [rng.randint(1, domain) for _ in range(n * width)]
+        else:
+            flat = zipf_values(rng, n * width, domain)
+        rows = [
+            tuple(flat[i * width : (i + 1) * width]) for i in range(n)
+        ]
+        db.add_rows(f"R{r}", attrs, rows)
+    return db
+
+
+def random_equalities(
+    db: Database, count: int, seed: int = 0
+) -> List[Tuple[str, str]]:
+    """``count`` non-redundant equalities over the database attributes.
+
+    Each equality merges two previously distinct attribute classes
+    (the paper's non-redundancy requirement); raises ``ValueError``
+    when more equalities are requested than classes can be merged.
+    """
+    attrs = db.attributes()
+    if count > len(attrs) - 1:
+        raise ValueError(
+            f"at most {len(attrs) - 1} non-redundant equalities exist"
+        )
+    rng = random.Random(seed)
+    uf = UnionFind(attrs)
+    out: List[Tuple[str, str]] = []
+    guard = 0
+    while len(out) < count:
+        left, right = rng.sample(attrs, 2)
+        if uf.union(left, right):
+            out.append((left, right))
+        guard += 1
+        if guard > 100_000:
+            raise RuntimeError("equality generation did not converge")
+    return out
+
+
+def random_query(db: Database, equalities: int, seed: int = 0) -> Query:
+    """An equi-join over all relations with K non-redundant equalities."""
+    return Query.make(
+        db.names, equalities=random_equalities(db, equalities, seed)
+    )
+
+
+def combinatorial_database(
+    distribution: str = "uniform", seed: int = 0
+) -> Database:
+    """The Figure 7 (right column) dataset.
+
+    Four relations over A = 10 attributes: two binary relations with
+    8^2 = 64 tuples and two ternary relations with 8^3 = 512 tuples,
+    values drawn from [1, 20].
+    """
+    return random_database(
+        relations=4,
+        attributes=10,
+        tuples=0,  # overridden by sizes
+        domain=20,
+        distribution=distribution,
+        seed=seed,
+        arities=[2, 2, 3, 3],
+        sizes=[64, 64, 512, 512],
+    )
+
+
+def random_followup_equalities(
+    tree: FTree, count: int, seed: int = 0
+) -> List[Tuple[str, str]]:
+    """``count`` equalities over the classes of a result f-tree.
+
+    Experiments 2 and 4: "the selections are conjunctions of L random
+    (not already implied) equalities on attribute equivalence classes
+    of T."  Each returned pair joins two distinct classes, and the
+    conjunction is non-redundant.
+    """
+    labels = [node.label for node in tree.iter_nodes()]
+    if count > len(labels) - 1:
+        raise ValueError(
+            f"at most {len(labels) - 1} class-merging equalities exist"
+        )
+    rng = random.Random(seed)
+    uf = UnionFind(range(len(labels)))
+    out: List[Tuple[str, str]] = []
+    guard = 0
+    while len(out) < count:
+        i, j = rng.sample(range(len(labels)), 2)
+        if uf.union(i, j):
+            out.append((min(labels[i]), min(labels[j])))
+        guard += 1
+        if guard > 100_000:
+            raise RuntimeError("equality generation did not converge")
+    return out

@@ -1,0 +1,164 @@
+"""The paper's running example: the grocery retailer of Figure 1.
+
+Attribute names are globally unique (the convention of this library),
+so the join attributes carry suffixes: ``Orders.item`` is ``o_item``,
+``Store.item`` is ``s_item``, and so on.  The queries ``Q1`` and ``Q2``
+and the f-trees ``T1``..``T4`` of Figure 2 are provided, making the
+introduction's worked examples executable (see also
+``examples/quickstart.py`` and the integration tests).
+"""
+
+from __future__ import annotations
+
+from repro.core.ftree import FTree
+from repro.query.query import Query
+from repro.relational.database import Database
+
+
+def grocery_database() -> Database:
+    """Figure 1: Orders, Store, Disp, Produce, Serve."""
+    db = Database()
+    db.add_rows(
+        "Orders",
+        ("oid", "o_item"),
+        [
+            (1, "Milk"),
+            (1, "Cheese"),
+            (2, "Melon"),
+            (3, "Cheese"),
+            (3, "Melon"),
+        ],
+    )
+    db.add_rows(
+        "Store",
+        ("s_location", "s_item"),
+        [
+            ("Istanbul", "Milk"),
+            ("Istanbul", "Cheese"),
+            ("Istanbul", "Melon"),
+            ("Izmir", "Milk"),
+            ("Antalya", "Milk"),
+            ("Antalya", "Cheese"),
+        ],
+    )
+    db.add_rows(
+        "Disp",
+        ("dispatcher", "d_location"),
+        [
+            ("Adnan", "Istanbul"),
+            ("Adnan", "Izmir"),
+            ("Yasemin", "Istanbul"),
+            ("Volkan", "Antalya"),
+        ],
+    )
+    db.add_rows(
+        "Produce",
+        ("p_supplier", "p_item"),
+        [
+            ("Guney", "Milk"),
+            ("Guney", "Cheese"),
+            ("Dikici", "Milk"),
+            ("Byzantium", "Melon"),
+        ],
+    )
+    db.add_rows(
+        "Serve",
+        ("v_supplier", "v_location"),
+        [
+            ("Guney", "Antalya"),
+            ("Dikici", "Istanbul"),
+            ("Dikici", "Izmir"),
+            ("Dikici", "Antalya"),
+            ("Byzantium", "Istanbul"),
+        ],
+    )
+    return db
+
+
+def query_q1() -> Query:
+    """Q1 = Orders JOIN_item Store JOIN_location Disp."""
+    return Query.make(
+        ["Orders", "Store", "Disp"],
+        equalities=[
+            ("o_item", "s_item"),
+            ("s_location", "d_location"),
+        ],
+    )
+
+
+def query_q2() -> Query:
+    """Q2 = Produce JOIN_supplier Serve."""
+    return Query.make(
+        ["Produce", "Serve"],
+        equalities=[("p_supplier", "v_supplier")],
+    )
+
+
+_Q1_EDGES = [
+    {"oid", "o_item"},
+    {"s_location", "s_item"},
+    {"dispatcher", "d_location"},
+]
+
+_Q2_EDGES = [
+    {"p_supplier", "p_item"},
+    {"v_supplier", "v_location"},
+]
+
+
+def tree_t1() -> FTree:
+    """T1: item on top; orders and (locations with dispatchers) below."""
+    return FTree.from_nested(
+        [
+            (
+                ("o_item", "s_item"),
+                [
+                    ("oid", []),
+                    (("s_location", "d_location"), [("dispatcher", [])]),
+                ],
+            )
+        ],
+        edges=_Q1_EDGES,
+    )
+
+
+def tree_t2() -> FTree:
+    """T2: locations on top; items/orders and dispatchers below."""
+    return FTree.from_nested(
+        [
+            (
+                ("s_location", "d_location"),
+                [
+                    (("o_item", "s_item"), [("oid", [])]),
+                    ("dispatcher", []),
+                ],
+            )
+        ],
+        edges=_Q1_EDGES,
+    )
+
+
+def tree_t3() -> FTree:
+    """T3: suppliers on top, items and locations independent below."""
+    return FTree.from_nested(
+        [
+            (
+                ("p_supplier", "v_supplier"),
+                [("p_item", []), ("v_location", [])],
+            )
+        ],
+        edges=_Q2_EDGES,
+    )
+
+
+def tree_t4() -> FTree:
+    """T4: items on top, suppliers with their locations below."""
+    return FTree.from_nested(
+        [
+            (
+                "p_item",
+                [(("p_supplier", "v_supplier"), [("v_location", [])])],
+            )
+        ],
+        edges=_Q2_EDGES,
+    )

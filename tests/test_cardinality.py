@@ -1,0 +1,104 @@
+"""Unit tests for the estimate-based cost measure."""
+
+from repro.costs.cardinality import (
+    Statistics,
+    estimate_plan_cost,
+    estimate_representation_size,
+)
+from repro.core.ftree import FNode, FTree
+from repro.query.hypergraph import Hypergraph
+from repro.relational.database import Database
+from repro.workloads import grocery_database, tree_t1, tree_t3
+
+
+def stats_of(db):
+    return Statistics.of_database(db)
+
+
+def test_of_database_snapshots_catalogue():
+    db = Database()
+    db.add_rows("R", ("a", "b"), [(1, 1), (1, 2), (2, 2)])
+    stats = stats_of(db)
+    assert stats.cardinalities["R"] == 3
+    assert stats.distincts["R"]["a"] == 2
+
+
+def test_relations_covering_label():
+    stats = stats_of(grocery_database())
+    assert stats.relations_covering(frozenset({"o_item", "s_item"})) == [
+        "Orders",
+        "Store",
+    ]
+
+
+def test_class_distinct_takes_minimum():
+    db = Database()
+    db.add_rows("R", ("a",), [(i,) for i in range(10)])
+    db.add_rows("S", ("b",), [(i % 3,) for i in range(10)])
+    stats = stats_of(db)
+    assert stats.class_distinct(frozenset({"a", "b"})) == 3
+
+
+def test_estimate_join_single_relation_is_cardinality():
+    db = Database()
+    db.add_rows("R", ("a", "b"), [(1, 1), (2, 2), (3, 3)])
+    stats = stats_of(db)
+    est = stats.estimate_join([frozenset({"a"}), frozenset({"b"})])
+    assert est == 3.0
+
+
+def test_estimate_join_divides_by_shared_class_domain():
+    db = Database()
+    db.add_rows("R", ("a",), [(i,) for i in range(10)])
+    db.add_rows("S", ("b",), [(i,) for i in range(10)])
+    stats = stats_of(db)
+    est = stats.estimate_join([frozenset({"a", "b"})])
+    assert est == 10.0  # 10 * 10 / 10
+
+
+def test_path_cardinality_capped_by_domains():
+    db = Database()
+    db.add_rows("R", ("a", "b"), [(i, i % 2) for i in range(100)])
+    stats = stats_of(db)
+    est = stats.estimate_path_cardinality([frozenset({"b"})])
+    assert est <= 2.0
+
+
+def test_representation_size_estimate_prefers_t3():
+    """Estimates agree with s(T): T3 (cost 1) beats T1-shaped trees."""
+    db = grocery_database()
+    stats = stats_of(db)
+    t3 = estimate_representation_size(tree_t3(), stats)
+    # A worst-case chain over the same attributes: supplier-item-location
+    chain = FTree.from_nested(
+        [
+            (
+                ("p_supplier", "v_supplier"),
+                [("p_item", [("v_location", [])])],
+            )
+        ],
+        edges=[
+            {"p_supplier", "p_item"},
+            {"v_supplier", "v_location"},
+        ],
+    )
+    assert t3 <= estimate_representation_size(chain, stats)
+
+
+def test_constant_nodes_cost_one_singleton():
+    tree = FTree(
+        [FNode({"x"}, constant=True)],
+        Hypergraph([]),
+    )
+    db = Database()
+    db.add_rows("R", ("x",), [(1,), (2,)])
+    assert estimate_representation_size(tree, stats_of(db)) == 1.0
+
+
+def test_plan_cost_sums_tree_estimates():
+    db = grocery_database()
+    stats = stats_of(db)
+    single = estimate_representation_size(tree_t3(), stats)
+    assert estimate_plan_cost([tree_t3(), tree_t3()], stats) == (
+        2 * single
+    )

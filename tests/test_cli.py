@@ -1,0 +1,145 @@
+"""Unit tests for the command-line interface."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.relational.csvio import dump_database
+from repro.workloads import grocery_database
+
+
+@pytest.fixture
+def csv_dir(tmp_path):
+    paths = dump_database(grocery_database(), str(tmp_path))
+    return {os.path.basename(p).split(".")[0]: p for p in paths}
+
+
+def test_query_command(csv_dir, capsys):
+    code = main(
+        [
+            "query",
+            "SELECT * FROM Orders, Store WHERE o_item = s_item",
+            "--csv",
+            csv_dir["Orders"],
+            csv_dir["Store"],
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "f-tree:" in out
+    assert "singletons" in out
+    assert "s(T) =" in out
+
+
+def test_query_flat_output_with_limit(csv_dir, capsys):
+    code = main(
+        [
+            "query",
+            "SELECT * FROM Orders",
+            "--csv",
+            csv_dir["Orders"],
+            "--flat",
+            "--limit",
+            "2",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "..." in out  # truncated at limit 2 of 5 rows
+
+
+def test_query_greedy_planner(csv_dir, capsys):
+    code = main(
+        [
+            "query",
+            "SELECT oid FROM Orders",
+            "--csv",
+            csv_dir["Orders"],
+            "--planner",
+            "greedy",
+        ]
+    )
+    assert code == 0
+
+
+def test_compile_and_stats_round_trip(csv_dir, tmp_path, capsys):
+    out_path = str(tmp_path / "compiled.json")
+    code = main(
+        [
+            "compile",
+            "SELECT * FROM Produce, Serve "
+            "WHERE p_supplier = v_supplier",
+            "--csv",
+            csv_dir["Produce"],
+            csv_dir["Serve"],
+            "-o",
+            out_path,
+        ]
+    )
+    assert code == 0
+    assert os.path.exists(out_path)
+    with open(out_path) as handle:
+        doc = json.load(handle)
+    assert doc["format"] == "fdb-factorised"
+
+    code = main(["stats", out_path])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "tuples" in out
+
+
+def test_experiment_command(capsys):
+    code = main(
+        [
+            "experiment",
+            "1",
+            "--relations",
+            "2",
+            "--equalities",
+            "1",
+            "--repeats",
+            "1",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "opt time" in out
+
+
+def test_experiment_3_command(capsys):
+    code = main(
+        [
+            "experiment",
+            "3",
+            "--sizes",
+            "200",
+            "--equalities",
+            "2",
+            "--timeout",
+            "10",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "FDB size" in out
+
+
+def test_missing_csv_fails():
+    with pytest.raises(SystemExit):
+        main(["query", "SELECT * FROM R"])
+
+
+def test_shell_command(csv_dir, capsys, monkeypatch):
+    lines = iter(
+        ["SELECT oid FROM Orders", "not sql", "\\q"]
+    )
+    monkeypatch.setattr(
+        "builtins.input", lambda prompt="": next(lines)
+    )
+    code = main(["shell", "--csv", csv_dir["Orders"]])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "loaded: Orders" in out
+    assert "error:" in out  # the bad query was reported, loop kept

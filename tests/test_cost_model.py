@@ -1,0 +1,84 @@
+"""Unit tests for s(T), s(f) and the lexicographic plan cost."""
+
+from fractions import Fraction
+
+from repro.core.ftree import FNode, FTree
+from repro.costs.cost_model import PlanCost, s_plan, s_tree
+from repro.query.hypergraph import Hypergraph
+from repro.workloads import tree_t1, tree_t2, tree_t3, tree_t4
+
+
+def test_paper_example4_costs():
+    """Example 4: every f-tree in Figure 2 has s = 2 except T3 (s = 1)."""
+    assert s_tree(tree_t1()) == Fraction(2)
+    assert s_tree(tree_t2()) == Fraction(2)
+    assert s_tree(tree_t3()) == Fraction(1)
+    assert s_tree(tree_t4()) == Fraction(2)
+
+
+def test_single_relation_tree_costs_one():
+    tree = FTree.from_nested(
+        [("a", [("b", [("c", [])])])],
+        edges=[{"a", "b", "c"}],
+    )
+    assert s_tree(tree) == Fraction(1)
+
+
+def test_constant_nodes_ignored():
+    tree = FTree(
+        [
+            FNode({"c"}, [FNode({"a"})], constant=True),
+        ],
+        Hypergraph([{"a"}]),
+    )
+    # Path {c, a}: c is constant, only a counts; a covered by one edge.
+    assert s_tree(tree) == Fraction(1)
+
+
+def test_s_plan_is_bottleneck():
+    trees = [tree_t3(), tree_t4()]
+    assert s_plan(trees) == Fraction(2)
+    assert s_plan([tree_t3()]) == Fraction(1)
+    assert s_plan([]) == Fraction(0)
+
+
+def test_example11_costs():
+    """Example 11: the intermediate tree of the first f-plan costs 2."""
+    edges = [{"A", "B", "C"}, {"D", "E", "F"}]
+    start = FTree.from_nested(
+        [
+            (
+                ("A", "D"),
+                [("B", [("C", [])]), ("E", [("F", [])])],
+            )
+        ],
+        edges=edges,
+    )
+    assert s_tree(start) == Fraction(1)
+    # After swapping B above {A,D}: path B - {A,D} - E - F needs both
+    # relations for B and F separately -> cost 2.
+    from repro.ops import swap_tree
+
+    swapped = swap_tree(start, "A", "B")
+    assert s_tree(swapped) == Fraction(2)
+    # The alternative first step chi_{E,F} keeps cost 1.
+    alt = swap_tree(start, "E", "F")
+    assert s_tree(alt) == Fraction(1)
+
+
+def test_plan_cost_lexicographic_order():
+    a = PlanCost(Fraction(1), Fraction(2), 5)
+    b = PlanCost(Fraction(2), Fraction(1), 1)
+    assert a < b  # bottleneck dominates
+    c = PlanCost(Fraction(1), Fraction(1), 9)
+    assert c < a  # same bottleneck, smaller final
+    d = PlanCost(Fraction(1), Fraction(1), 2)
+    assert d < c  # same both, fewer ops
+    assert d == PlanCost(Fraction(1), Fraction(1), 2)
+
+
+def test_plan_cost_of_trees():
+    cost = PlanCost.of_trees([tree_t3(), tree_t4()])
+    assert cost.bottleneck == Fraction(2)
+    assert cost.final == Fraction(2)
+    assert cost.length == 1

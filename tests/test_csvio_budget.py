@@ -1,0 +1,82 @@
+"""Unit tests for CSV I/O and evaluation budgets."""
+
+import os
+import time
+
+import pytest
+
+from repro.relational.budget import Budget, BudgetExceeded
+from repro.relational.csvio import (
+    dump_database,
+    dump_relation,
+    load_database,
+    load_relation,
+    load_relation_text,
+)
+from repro.relational.database import Database
+
+
+def test_load_relation_text_coerces_integers():
+    r = load_relation_text("R", "a,b\n1,x\n2,3\n")
+    assert list(r) == [(1, "x"), (2, 3)]
+    assert r.attributes == ("a", "b")
+
+
+def test_load_relation_text_empty_rejected():
+    with pytest.raises(ValueError):
+        load_relation_text("R", "")
+
+
+def test_round_trip_through_files(tmp_path):
+    db = Database()
+    db.add_rows("R", ("a", "b"), [(1, 2), (3, 4)])
+    db.add_rows("S", ("c",), [("x",), ("y",)])
+    paths = dump_database(db, str(tmp_path))
+    assert sorted(os.path.basename(p) for p in paths) == [
+        "R.csv",
+        "S.csv",
+    ]
+    loaded = load_database(paths)
+    assert list(loaded["R"]) == [(1, 2), (3, 4)]
+    assert list(loaded["S"]) == [("x",), ("y",)]
+
+
+def test_relation_name_defaults_to_stem(tmp_path):
+    db = Database()
+    rel = db.add_rows("Orders", ("a",), [(1,)])
+    path = str(tmp_path / "Orders.csv")
+    dump_relation(rel, path)
+    assert load_relation(path).name == "Orders"
+
+
+def test_custom_delimiter(tmp_path):
+    r = load_relation_text("R", "a|b\n1|2\n", delimiter="|")
+    assert list(r) == [(1, 2)]
+
+
+def test_budget_row_cap():
+    budget = Budget(max_rows=10)
+    budget.check(5)
+    with pytest.raises(BudgetExceeded):
+        budget.check(11)
+
+
+def test_budget_timeout_check_now():
+    budget = Budget(timeout_seconds=0.01)
+    time.sleep(0.02)
+    with pytest.raises(BudgetExceeded):
+        budget.check_now()
+
+
+def test_budget_restart_resets_clock():
+    budget = Budget(timeout_seconds=0.05)
+    time.sleep(0.06)
+    budget.restart()
+    budget.check_now()  # must not raise
+
+
+def test_unlimited_budget_never_trips():
+    budget = Budget()
+    for i in range(10000):
+        budget.check(i)
+    budget.check_now()

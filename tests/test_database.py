@@ -1,0 +1,77 @@
+"""Unit tests for the database catalogue."""
+
+import pytest
+
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import SchemaError
+
+
+def test_add_and_lookup():
+    db = Database()
+    db.add_rows("R", ("a",), [(1,), (2,)])
+    assert "R" in db and db["R"].cardinality == 2
+    assert db.names == ["R"]
+
+
+def test_duplicate_relation_name_rejected():
+    db = Database()
+    db.add_rows("R", ("a",), [(1,)])
+    with pytest.raises(SchemaError):
+        db.add_rows("R", ("b",), [(1,)])
+
+
+def test_global_attribute_uniqueness_enforced():
+    db = Database()
+    db.add_rows("R", ("a",), [(1,)])
+    with pytest.raises(SchemaError):
+        db.add_rows("S", ("a",), [(1,)])
+
+
+def test_relation_of_attribute():
+    db = Database()
+    db.add_rows("R", ("a", "b"), [(1, 2)])
+    db.add_rows("S", ("c",), [(3,)])
+    assert db.relation_of("c").name == "S"
+    with pytest.raises(SchemaError):
+        db.relation_of("zz")
+
+
+def test_total_size_and_len():
+    db = Database()
+    db.add_rows("R", ("a",), [(1,), (2,)])
+    db.add_rows("S", ("b",), [(3,)])
+    assert db.total_size == 3
+    assert len(db) == 2
+
+
+def test_schema_snapshot():
+    db = Database()
+    db.add_rows("R", ("a", "b"), [(1, 2)])
+    assert db.schema() == {"R": ("a", "b")}
+
+
+def test_add_renamed_for_self_joins():
+    db = Database()
+    db.add_rows("R", ("a", "b"), [(1, 2), (2, 3)])
+    db.add_renamed("R", "R2", {"a": "a2", "b": "b2"})
+    assert db["R2"].attributes == ("a2", "b2")
+    assert list(db["R2"]) == list(db["R"])
+
+
+def test_statistics():
+    db = Database()
+    db.add_rows("R", ("a", "b"), [(1, 1), (1, 2), (2, 2)])
+    assert db.cardinality("R") == 3
+    assert db.distinct("a") == 2
+    stats = db.stats()
+    assert stats["R"]["__cardinality__"] == 3
+    assert stats["R"]["b"] == 2
+
+
+def test_construct_from_iterable_of_relations():
+    r = Relation.from_rows("R", ("a",), [(1,)])
+    s = Relation.from_rows("S", ("b",), [(2,)])
+    db = Database([r, s])
+    assert set(db.names) == {"R", "S"}
+    assert db.attributes() == ["a", "b"]

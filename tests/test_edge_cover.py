@@ -1,0 +1,109 @@
+"""Unit tests for fractional and integral edge covers."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.costs.edge_cover import (
+    CoverError,
+    fractional_edge_cover,
+    integral_edge_cover,
+)
+
+
+def test_single_edge_covers_everything():
+    assert fractional_edge_cover(
+        [{"a"}, {"b"}], [{"a", "b"}]
+    ) == Fraction(1)
+    assert integral_edge_cover([{"a"}, {"b"}], [{"a", "b"}]) == 1
+
+
+def test_disjoint_classes_need_two_edges():
+    classes = [{"a"}, {"b"}]
+    edges = [{"a"}, {"b"}]
+    assert fractional_edge_cover(classes, edges) == Fraction(2)
+    assert integral_edge_cover(classes, edges) == 2
+
+
+def test_triangle_fractional_vs_integral_gap():
+    """The classic AGM example: fractional 3/2, integral 2."""
+    classes = [{"a"}, {"b"}, {"c"}]
+    edges = [{"a", "b"}, {"b", "c"}, {"a", "c"}]
+    assert fractional_edge_cover(classes, edges) == Fraction(3, 2)
+    assert integral_edge_cover(classes, edges) == 2
+
+
+def test_chain_cover():
+    # path a-b-c with edges {a,b}, {b,c}: covered by both edges = 2?
+    # No: {a,b} covers a and b, {b,c} covers c -> 2 edges, but
+    # fractionally also 2? x1 + x2 with x1 >= 1 (a), x2 >= 1 (c) -> 2.
+    classes = [{"a"}, {"b"}, {"c"}]
+    edges = [{"a", "b"}, {"b", "c"}]
+    assert fractional_edge_cover(classes, edges) == Fraction(2)
+
+
+def test_empty_class_list_costs_zero():
+    assert fractional_edge_cover([], [{"a"}]) == Fraction(0)
+    assert integral_edge_cover([], [{"a"}]) == 0
+
+
+def test_uncoverable_class_raises():
+    with pytest.raises(CoverError):
+        fractional_edge_cover([{"a"}, {"zz"}], [{"a"}])
+    with pytest.raises(CoverError):
+        integral_edge_cover([{"a"}, {"zz"}], [{"a"}])
+
+
+def test_multi_attribute_classes_covered_by_intersection():
+    # Class {a, b} is covered by any edge meeting a or b.
+    classes = [{"a", "b"}, {"c"}]
+    edges = [{"a", "c"}]
+    assert fractional_edge_cover(classes, edges) == Fraction(1)
+
+
+def test_star_query():
+    # centre c joined with k satellites; each edge {c, s_i}.
+    k = 4
+    classes = [{"c"}] + [{f"s{i}"} for i in range(k)]
+    edges = [{"c", f"s{i}"} for i in range(k)]
+    assert fractional_edge_cover(classes, edges) == Fraction(k)
+
+
+def test_k_cycle_fractional_cover_is_k_over_2():
+    for k in (4, 5, 6):
+        classes = [{f"v{i}"} for i in range(k)]
+        edges = [{f"v{i}", f"v{(i + 1) % k}"} for i in range(k)]
+        assert fractional_edge_cover(classes, edges) == Fraction(k, 2)
+
+
+def test_result_is_exact_fraction():
+    value = fractional_edge_cover(
+        [{"a"}, {"b"}, {"c"}],
+        [{"a", "b"}, {"b", "c"}, {"a", "c"}],
+    )
+    assert isinstance(value, Fraction)
+    assert value.denominator == 2
+
+
+def test_redundant_edges_do_not_hurt():
+    classes = [{"a"}, {"b"}]
+    edges = [{"a", "b"}, {"a"}, {"b"}, {"zzz"}]
+    assert fractional_edge_cover(classes, edges) == Fraction(1)
+
+
+def test_agreement_with_scipy_if_available():
+    scipy = pytest.importorskip("scipy")
+    from repro.costs.edge_cover import fractional_edge_cover_scipy
+
+    cases = [
+        ([{"a"}, {"b"}, {"c"}], [{"a", "b"}, {"b", "c"}, {"a", "c"}]),
+        ([{"a"}, {"b"}], [{"a", "b"}]),
+        (
+            [{f"v{i}"} for i in range(5)],
+            [{f"v{i}", f"v{(i + 1) % 5}"} for i in range(5)],
+        ),
+    ]
+    for classes, edges in cases:
+        exact = fractional_edge_cover(classes, edges)
+        approx = fractional_edge_cover_scipy(classes, edges)
+        assert abs(float(exact) - approx) < 1e-9

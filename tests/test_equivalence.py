@@ -1,0 +1,91 @@
+"""Unit tests for the union-find structure."""
+
+import pytest
+
+from repro.query.equivalence import UnionFind
+
+
+def test_singletons_after_construction():
+    uf = UnionFind(["a", "b", "c"])
+    assert len(uf) == 3
+    assert uf.find("a") == "a"
+    assert not uf.connected("a", "b")
+
+
+def test_union_merges_classes():
+    uf = UnionFind(["a", "b", "c"])
+    assert uf.union("a", "b") is True
+    assert uf.connected("a", "b")
+    assert not uf.connected("a", "c")
+
+
+def test_union_is_idempotent_and_reports_redundancy():
+    uf = UnionFind(["a", "b", "c"])
+    assert uf.union("a", "b")
+    assert uf.union("b", "c")
+    # a-c is now implied, the merge is redundant.
+    assert uf.union("a", "c") is False
+
+
+def test_transitive_connectivity():
+    uf = UnionFind(range(10))
+    for i in range(9):
+        uf.union(i, i + 1)
+    assert uf.connected(0, 9)
+    assert len(uf.classes()) == 1
+
+
+def test_classes_partition_the_items():
+    uf = UnionFind("abcdef")
+    uf.union("a", "b")
+    uf.union("c", "d")
+    classes = uf.classes()
+    assert sorted(sorted(c) for c in classes) == [
+        ["a", "b"],
+        ["c", "d"],
+        ["e"],
+        ["f"],
+    ]
+    covered = set()
+    for cls in classes:
+        assert not (covered & cls)
+        covered |= cls
+    assert covered == set("abcdef")
+
+
+def test_class_of_returns_full_class():
+    uf = UnionFind(["a", "b", "c"])
+    uf.union("a", "c")
+    assert uf.class_of("a") == frozenset({"a", "c"})
+    assert uf.class_of("b") == frozenset({"b"})
+
+
+def test_add_is_idempotent():
+    uf = UnionFind()
+    uf.add("x")
+    uf.union("x", "y")  # auto-adds y
+    uf.add("x")
+    assert uf.connected("x", "y")
+    assert len(uf) == 2
+
+
+def test_find_unknown_raises():
+    uf = UnionFind(["a"])
+    with pytest.raises(KeyError):
+        uf.find("zzz")
+
+
+def test_copy_is_independent():
+    uf = UnionFind(["a", "b"])
+    clone = uf.copy()
+    uf.union("a", "b")
+    assert uf.connected("a", "b")
+    assert not clone.connected("a", "b")
+
+
+def test_union_by_size_keeps_structure_flat():
+    uf = UnionFind(range(100))
+    for i in range(1, 100):
+        uf.union(0, i)
+    root = uf.find(0)
+    assert all(uf.find(i) == root for i in range(100))

@@ -1,0 +1,91 @@
+"""Tests for the estimate-based cost measure in the optimisers.
+
+Section 4.1 defines two cost measures and the experiments note "the
+alternative cost estimate ... would lead to very similar choices of
+optimal f-plans"; these tests check the estimate-driven planners are
+correct and usually agree with the asymptotic ones.
+"""
+
+import pytest
+
+from repro.costs.cardinality import Statistics
+from repro.engine import FDB
+from repro.optimiser import exhaustive_fplan, greedy_fplan
+from repro.query.query import Query
+from repro.workloads import (
+    grocery_database,
+    query_q1,
+    random_database,
+    random_followup_equalities,
+    random_query,
+)
+from tests.conftest import assignments, filtered
+
+
+def test_estimate_exhaustive_produces_correct_plan():
+    db = grocery_database()
+    stats = Statistics.of_database(db)
+    fdb = FDB(db)
+    fr = fdb.evaluate(query_q1())
+    eqs = [("o_item", "dispatcher")]
+    plan = exhaustive_fplan(fr.tree, eqs, stats=stats)
+    out = plan.execute(fr)
+    assert assignments(out) == filtered(fr, eqs)
+
+
+def test_estimate_greedy_produces_correct_plan():
+    db = grocery_database()
+    stats = Statistics.of_database(db)
+    fdb = FDB(db)
+    fr = fdb.evaluate(query_q1())
+    # (a same-typed attribute pair: values stay comparable)
+    eqs = [("o_item", "dispatcher")]
+    plan = greedy_fplan(fr.tree, eqs, stats=stats)
+    out = plan.execute(fr)
+    assert assignments(out) == filtered(fr, eqs)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_cost_models_reach_same_relation(seed):
+    db = random_database(3, 8, 15, domain=5, seed=seed)
+    q = random_query(db, 2, seed=seed + 9)
+    stats = Statistics.of_database(db)
+    fdb = FDB(db)
+    fr = fdb.evaluate(q)
+    if fr.is_empty():
+        pytest.skip("empty input")
+    eqs = random_followup_equalities(fr.tree, 1, seed=seed)
+    asym = exhaustive_fplan(fr.tree, eqs).execute(fr)
+    est = exhaustive_fplan(fr.tree, eqs, stats=stats).execute(fr)
+    assert assignments(asym) == assignments(est)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_cost_models_often_choose_same_final_tree(seed):
+    """Weak form of the paper's "very similar choices" claim."""
+    db = random_database(4, 10, 20, domain=6, seed=seed)
+    q = random_query(db, 3, seed=seed + 17)
+    stats = Statistics.of_database(db)
+    fdb = FDB(db)
+    fr = fdb.evaluate(q)
+    if fr.is_empty():
+        pytest.skip("empty input")
+    eqs = random_followup_equalities(fr.tree, 1, seed=seed + 2)
+    asym = exhaustive_fplan(fr.tree, eqs)
+    est = exhaustive_fplan(fr.tree, eqs, stats=stats, max_states=50_000)
+    # Same goal partition always; usually even the same tree shape.
+    assert (
+        asym.output_tree.class_partition()
+        == est.output_tree.class_partition()
+    )
+
+
+def test_engine_facade_accepts_cost_model():
+    db = grocery_database()
+    fdb = FDB(db, plan_search="greedy", cost_model="estimates")
+    fr = fdb.evaluate(query_q1())
+    followup = Query.make([], constants=[("oid", "=", 1)])
+    out, _ = fdb.evaluate_on(fr, followup)
+    assert all(d["oid"] == 1 for d in out)
+    with pytest.raises(ValueError):
+        FDB(db, cost_model="psychic")

@@ -1,0 +1,44 @@
+"""Smoke tests: every example script runs green end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "examples",
+)
+
+SCRIPTS = [
+    ("quickstart.py", [], "Example 2: Q1 JOIN Q2"),
+    ("supply_chain.py", [], "compression:"),
+    ("compiled_database.py", [], "sustainability:"),
+    ("engine_shootout.py", ["600"], "gap"),
+    ("configuration_space.py", [], "feasible builds"),
+]
+
+
+@pytest.mark.parametrize(
+    "script,args,marker", SCRIPTS, ids=[s for s, _, _ in SCRIPTS]
+)
+def test_example_runs(script, args, marker):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path, *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert marker in result.stdout
+
+
+def test_examples_directory_is_complete():
+    present = {
+        name
+        for name in os.listdir(EXAMPLES_DIR)
+        if name.endswith(".py")
+    }
+    assert {s for s, _, _ in SCRIPTS} <= present

@@ -1,0 +1,134 @@
+"""Integration tests: the Section 5 experiment harness at tiny scale.
+
+These verify the *shape* claims of the paper on miniature parameter
+sweeps; the full-size sweeps live under ``benchmarks/``.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    format_table,
+    run_experiment1,
+    run_experiment2,
+    run_experiment3,
+    run_experiment4,
+)
+from repro.experiments import exp1, exp2, exp3, exp4
+
+
+def finite(value: float) -> bool:
+    return not math.isnan(value) and not math.isinf(value)
+
+
+def test_experiment1_tiny():
+    rows = run_experiment1(
+        relations_values=(1, 2, 3),
+        equalities_values=(1, 2, 4),
+        attributes=12,
+        repeats=2,
+    )
+    assert len(rows) == 9
+    for row in rows:
+        assert row.mean_time_seconds >= 0
+        assert 1.0 <= row.mean_cost <= row.max_cost
+        # Figure 5: cost is always 1 for queries of <= 2 relations.
+        if row.relations <= 2:
+            assert row.max_cost == 1.0
+
+
+def test_experiment1_k_capped_by_attributes():
+    rows = run_experiment1(
+        relations_values=(2,),
+        equalities_values=(3, 99),
+        attributes=4,
+        repeats=1,
+    )
+    # K = 99 > A - 1 is skipped.
+    assert [r.equalities for r in rows] == [3]
+
+
+def test_experiment2_tiny():
+    rows = run_experiment2(
+        k_values=(1, 2), l_values=(1, 2), repeats=1
+    )
+    assert rows
+    for row in rows:
+        # Full search is never worse (Figure 6).
+        assert row.full_plan_cost <= row.greedy_plan_cost + 1e-9
+        assert row.full_result_cost <= row.full_plan_cost + 1e-9
+        assert row.full_time_seconds > 0
+        assert row.greedy_time_seconds > 0
+
+
+def test_experiment2_respects_k_plus_l_constraint():
+    rows = run_experiment2(
+        k_values=(8,), l_values=(5,), attributes=10, repeats=1
+    )
+    assert rows == []  # K + L >= A: no valid configuration
+
+
+def test_experiment3_tiny_shapes():
+    rows = run_experiment3(
+        sizes=(400,),
+        k_values=(2,),
+        distributions=("uniform",),
+        include_combinatorial=True,
+        combinatorial_k=(2,),
+        timeout=30.0,
+    )
+    assert len(rows) == 2
+    for row in rows:
+        if finite(row.flat_size_elements) and row.flat_size_elements:
+            assert (
+                row.fdb_size_singletons <= row.flat_size_elements
+            )
+    combo = [r for r in rows if r.dataset == "combinatorial"][0]
+    # The combinatorial dataset factorises dramatically (paper: ~1e5x).
+    if combo.flat_size_elements > 0:
+        assert (
+            combo.flat_size_elements
+            >= 50 * combo.fdb_size_singletons
+        )
+
+
+def test_experiment4_tiny_shapes():
+    rows = run_experiment4(
+        k_values=(3,), l_values=(1, 2), timeout=30.0
+    )
+    assert rows
+    for row in rows:
+        if finite(row.flat_result_elements) and (
+            row.flat_result_elements > 0
+        ):
+            assert (
+                row.fdb_result_singletons
+                <= row.flat_result_elements
+            )
+
+
+def test_formatters_produce_tables():
+    rows1 = run_experiment1(
+        relations_values=(2,),
+        equalities_values=(1,),
+        attributes=6,
+        repeats=1,
+    )
+    table = format_table(exp1.headers(), exp1.as_cells(rows1))
+    assert "R" in table.splitlines()[0]
+    assert len(table.splitlines()) == 3
+
+    rows3 = run_experiment3(
+        sizes=(100,),
+        k_values=(2,),
+        distributions=("uniform",),
+        include_combinatorial=False,
+    )
+    table = format_table(exp3.headers(), exp3.as_cells(rows3))
+    assert "FDB size" in table.splitlines()[0]
+
+
+def test_format_table_marks_timeouts():
+    table = format_table(["x"], [[float("nan")]])
+    assert "timeout" in table

@@ -1,0 +1,116 @@
+"""Unit tests for the flat physical operators (RDB substrate)."""
+
+import pytest
+
+from repro.query.query import ConstantCondition, EqualityCondition
+from repro.relational.budget import Budget, BudgetExceeded
+from repro.relational.operators import (
+    hash_join,
+    product,
+    project,
+    select_constant,
+    select_equality,
+    sort_merge_join,
+    union,
+)
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def r():
+    return Relation.from_rows(
+        "R", ("a", "b"), [(1, 1), (1, 2), (2, 2), (3, 1)]
+    )
+
+
+@pytest.fixture
+def s():
+    return Relation.from_rows("S", ("c", "d"), [(1, 7), (2, 8), (2, 9)])
+
+
+def test_select_constant(r):
+    out = select_constant(r, ConstantCondition("a", "=", 1))
+    assert list(out) == [(1, 1), (1, 2)]
+    out = select_constant(r, ConstantCondition("b", ">", 1))
+    assert list(out) == [(1, 2), (2, 2)]
+
+
+def test_select_equality(r):
+    out = select_equality(r, EqualityCondition("a", "b"))
+    assert list(out) == [(1, 1), (2, 2)]
+
+
+def test_project_dedupes(r):
+    out = project(r, ["b"])
+    assert out.attributes == ("b",)
+    assert list(out) == [(1,), (2,)]
+
+
+def test_project_reorders(r):
+    out = project(r, ["b", "a"])
+    assert out.attributes == ("b", "a")
+    assert (2, 1) in out
+
+
+def test_product(r, s):
+    out = product(r, s)
+    assert out.cardinality == len(r) * len(s)
+    assert out.attributes == ("a", "b", "c", "d")
+
+
+def test_sort_merge_join_many_to_many(r, s):
+    out = sort_merge_join(r, s, [("b", "c")])
+    # b=1 matches c=1 (1 tuple); b=2 matches c=2 (2 tuples each side)
+    expected = {
+        (1, 1, 1, 7),
+        (3, 1, 1, 7),
+        (1, 2, 2, 8),
+        (1, 2, 2, 9),
+        (2, 2, 2, 8),
+        (2, 2, 2, 9),
+    }
+    assert set(out.rows) == expected
+
+
+def test_hash_join_agrees_with_sort_merge(r, s):
+    a = sort_merge_join(r, s, [("b", "c")])
+    b = hash_join(r, s, [("b", "c")])
+    assert a == b
+
+
+def test_joins_on_multiple_pairs(r):
+    t = Relation.from_rows("T", ("e", "f"), [(1, 1), (1, 2), (2, 9)])
+    a = sort_merge_join(r, t, [("a", "e"), ("b", "f")])
+    b = hash_join(r, t, [("a", "e"), ("b", "f")])
+    assert set(a.rows) == {(1, 1, 1, 1), (1, 2, 1, 2)}
+    assert a == b
+
+
+def test_join_with_no_pairs_is_product(r, s):
+    assert sort_merge_join(r, s, []) == product(r, s)
+    assert hash_join(r, s, []) == product(r, s)
+
+
+def test_join_empty_input(s):
+    empty = Relation.from_rows("E", ("a", "b"), [])
+    assert sort_merge_join(empty, s, [("b", "c")]).cardinality == 0
+    assert hash_join(empty, s, [("b", "c")]).cardinality == 0
+
+
+def test_union_aligns_attribute_order():
+    r1 = Relation.from_rows("R", ("a", "b"), [(1, 2)])
+    r2 = Relation.from_rows("S", ("b", "a"), [(3, 4), (2, 1)])
+    out = union(r1, r2)
+    assert set(out.rows) == {(1, 2), (4, 3)}
+
+
+def test_budget_row_cap_trips_in_joins(r, s):
+    budget = Budget(max_rows=2)
+    with pytest.raises(BudgetExceeded):
+        sort_merge_join(r, s, [("b", "c")], budget=budget)
+    budget = Budget(max_rows=2)
+    with pytest.raises(BudgetExceeded):
+        hash_join(r, s, [("b", "c")], budget=budget)
+    budget = Budget(max_rows=2)
+    with pytest.raises(BudgetExceeded):
+        product(r, s, budget=budget)

@@ -1,0 +1,179 @@
+"""Unit tests for the exhaustive and greedy f-plan optimisers."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.build import factorise
+from repro.core.factorised import FactorisedRelation
+from repro.core.ftree import FTree
+from repro.costs.cost_model import s_tree
+from repro.optimiser import (
+    exhaustive_fplan,
+    greedy_fplan,
+    target_partition,
+    FPlan,
+    Step,
+)
+from repro.relational.relation import Relation
+from repro.workloads import (
+    grocery_database,
+    random_database,
+    random_followup_equalities,
+    random_query,
+    tree_t1,
+)
+from repro.engine import FDB
+from repro.query.query import Query
+from tests.conftest import assignments, filtered
+
+
+def example11_tree():
+    edges = [{"A", "B", "C"}, {"D", "E", "F"}]
+    return FTree.from_nested(
+        [
+            (
+                ("A", "D"),
+                [("B", [("C", [])]), ("E", [("F", [])])],
+            )
+        ],
+        edges=edges,
+    )
+
+
+def test_example11_exhaustive_finds_cost_one_plan():
+    """Example 11: the optimal plan for B = F has cost 1, not 2."""
+    tree = example11_tree()
+    plan = exhaustive_fplan(tree, [("B", "F")])
+    assert plan.cost.bottleneck == Fraction(1)
+    assert plan.cost.final == Fraction(1)
+    merged = plan.output_tree.node_of("B")
+    assert merged.label == frozenset({"B", "F"})
+
+
+def test_example11_naive_plan_costs_two():
+    """The first f-plan of Example 11 (swap B up, absorb F) costs 2."""
+    tree = example11_tree()
+    plan = FPlan(
+        tree,
+        [Step("swap", ("A", "B")), Step("absorb", ("B", "F"))],
+    )
+    assert plan.cost.bottleneck == Fraction(2)
+
+
+def test_target_partition():
+    tree = example11_tree()
+    goal = target_partition(tree, [("B", "F")])
+    assert goal["B"] == goal["F"] == frozenset({"B", "F"})
+    assert goal["A"] == frozenset({"A", "D"})
+
+
+def test_exhaustive_plan_executes_correctly():
+    tree = example11_tree()
+    r1 = Relation.from_rows(
+        "R1",
+        ("A", "B", "C"),
+        [(1, 1, 1), (1, 2, 1), (2, 2, 2), (2, 1, 2)],
+    )
+    r2 = Relation.from_rows(
+        "R2",
+        ("D", "E", "F"),
+        [(1, 5, 1), (1, 5, 2), (2, 6, 2), (2, 6, 1)],
+    )
+    fr = FactorisedRelation(tree, factorise([r1, r2], tree))
+    plan = exhaustive_fplan(tree, [("B", "F")])
+    out = plan.execute(fr).validate()
+    assert assignments(out) == filtered(fr, [("B", "F")])
+
+
+def test_greedy_matches_exhaustive_semantics():
+    tree = example11_tree()
+    r1 = Relation.from_rows(
+        "R1", ("A", "B", "C"), [(1, 1, 1), (1, 2, 2), (2, 1, 1)]
+    )
+    r2 = Relation.from_rows(
+        "R2", ("D", "E", "F"), [(1, 5, 1), (2, 6, 2), (1, 6, 2)]
+    )
+    fr = FactorisedRelation(tree, factorise([r1, r2], tree))
+    full = exhaustive_fplan(tree, [("B", "F")]).execute(fr)
+    greedy = greedy_fplan(tree, [("B", "F")]).execute(fr)
+    assert assignments(full) == assignments(greedy)
+
+
+def test_exhaustive_never_worse_than_greedy():
+    for seed in range(6):
+        db = random_database(3, 7, 12, domain=5, seed=seed)
+        q = random_query(db, 2, seed=seed + 100)
+        fdb = FDB(db)
+        tree = fdb.optimal_tree(q)
+        eqs = random_followup_equalities(tree, 2, seed=seed)
+        full = exhaustive_fplan(tree, eqs)
+        greedy = greedy_fplan(tree, eqs)
+        assert full.cost.as_tuple()[:2] <= greedy.cost.as_tuple()[:2]
+        # Both reach the same class partition.
+        assert (
+            full.output_tree.class_partition()
+            == greedy.output_tree.class_partition()
+        )
+
+
+def test_plans_on_already_satisfied_condition_are_empty():
+    tree = tree_t1()  # o_item and s_item already share a node
+    plan = exhaustive_fplan(tree, [("o_item", "s_item")])
+    assert len(plan) == 0
+    gplan = greedy_fplan(tree, [("o_item", "s_item")])
+    assert len(gplan) == 0
+
+
+def test_plan_execute_rejects_wrong_input_tree():
+    tree = example11_tree()
+    plan = exhaustive_fplan(tree, [("B", "F")])
+    other_tree = tree_t1()
+    db = grocery_database()
+    fr = FactorisedRelation(
+        other_tree,
+        factorise(
+            [db["Orders"], db["Store"], db["Disp"]], other_tree
+        ),
+    )
+    with pytest.raises(ValueError):
+        plan.execute(fr)
+
+
+def test_fplan_then_extends():
+    tree = example11_tree()
+    base = FPlan(tree, [Step("swap", ("A", "B"))])
+    extended = base.then([Step("absorb", ("B", "F"))])
+    assert len(extended) == 2
+    assert extended.output_tree.node_of("B").label == frozenset(
+        {"B", "F"}
+    )
+
+
+def test_greedy_on_disjoint_trees_merges_at_top():
+    tree = FTree.from_nested(
+        [("a", [("b", [])]), ("c", [("d", [])])],
+        edges=[{"a", "b"}, {"c", "d"}],
+    )
+    plan = greedy_fplan(tree, [("b", "d")])
+    out = plan.output_tree
+    assert out.node_of("b").label == frozenset({"b", "d"})
+    assert out.satisfies_path_constraint()
+
+
+def test_exhaustive_multi_condition_plan():
+    db = grocery_database()
+    fdb = FDB(db)
+    q = Query.make(
+        ["Orders", "Store", "Disp", "Produce", "Serve"],
+        equalities=[
+            ("o_item", "s_item"),
+            ("s_location", "d_location"),
+        ],
+    )
+    tree = fdb.optimal_tree(q)
+    fr = fdb.factorise_query(q, tree)
+    eqs = [("o_item", "p_item"), ("s_location", "v_location")]
+    plan = exhaustive_fplan(tree, eqs)
+    out = plan.execute(fr).validate()
+    assert assignments(out) == filtered(fr, eqs)

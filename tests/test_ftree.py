@@ -1,0 +1,159 @@
+"""Unit tests for f-trees: structure, path constraint, normalisation."""
+
+import pytest
+
+from repro.core.ftree import FNode, FTree, FTreeError, label_key
+from repro.query.hypergraph import Hypergraph
+
+
+def chain(edges=({"a", "b"}, {"b", "c"})):
+    """a - b - c chain with dependencies a-b and b-c."""
+    return FTree.from_nested(
+        [("a", [("b", [("c", [])])])], edges=edges
+    )
+
+
+def test_node_label_nonempty():
+    with pytest.raises(FTreeError):
+        FNode(set())
+
+
+def test_children_canonically_sorted():
+    node = FNode({"r"}, [FNode({"z"}), FNode({"a"})])
+    assert [sorted(c.label) for c in node.children] == [["a"], ["z"]]
+
+
+def test_label_key_deterministic():
+    assert label_key({"b", "a"}) == ("a", "b")
+
+
+def test_duplicate_attribute_rejected():
+    with pytest.raises(FTreeError):
+        FTree(
+            [FNode({"a"}), FNode({"a", "b"})],
+            Hypergraph([]),
+        )
+
+
+def test_node_of_and_parents():
+    t = chain()
+    assert t.node_of("b").label == frozenset({"b"})
+    assert t.parent_of(t.node_of("c")).label == frozenset({"b"})
+    assert t.parent_of(t.node_of("a")) is None
+    with pytest.raises(FTreeError):
+        t.node_of("zz")
+
+
+def test_ancestors_root_first():
+    t = chain()
+    anc = t.ancestors(t.node_of("c"))
+    assert [sorted(n.label) for n in anc] == [["a"], ["b"]]
+    assert t.is_ancestor(t.node_of("a"), t.node_of("c"))
+    assert not t.is_ancestor(t.node_of("c"), t.node_of("a"))
+
+
+def test_root_to_leaf_paths():
+    t = FTree.from_nested(
+        [("r", [("x", []), ("y", [("z", [])])])],
+        edges=[{"r", "x"}, {"r", "y"}, {"y", "z"}],
+    )
+    paths = t.root_to_leaf_paths()
+    rendered = sorted(
+        tuple(sorted(n.label)[0] for n in p) for p in paths
+    )
+    assert rendered == [("r", "x"), ("r", "y", "z")]
+
+
+def test_path_constraint_satisfied_on_chain():
+    assert chain().satisfies_path_constraint()
+
+
+def test_path_constraint_violated_when_edge_spans_siblings():
+    t = FTree.from_nested(
+        [("r", [("a", []), ("b", [])])],
+        edges=[{"a", "b"}],  # a and b must share a path but are siblings
+    )
+    assert not t.satisfies_path_constraint()
+
+
+def test_pushable_iff_independent_of_parent():
+    # c depends on b (edge {b,c}): not pushable above b.
+    t = chain()
+    assert not t.pushable(t.node_of("c"))
+    # With no b-c edge, c becomes pushable.
+    t2 = chain(edges=({"a", "b"}, {"a", "c"}))
+    # now c depends on a but b is between them; c pushable above b
+    assert t2.pushable(t2.node_of("c"))
+
+
+def test_is_normalised():
+    assert chain().is_normalised()
+    t2 = chain(edges=({"a", "b"}, {"a", "c"}))
+    assert not t2.is_normalised()
+
+
+def test_forest_of_independent_components_is_normalised():
+    t = FTree.from_nested(
+        [("a", []), ("b", [])], edges=[{"a"}, {"b"}]
+    )
+    assert t.is_normalised()
+    assert t.satisfies_path_constraint()
+
+
+def test_keys_equal_for_identical_trees():
+    assert chain().key() == chain().key()
+    assert chain() == chain()
+    assert hash(chain()) == hash(chain())
+
+
+def test_keys_differ_for_different_shapes():
+    flat = FTree.from_nested(
+        [("a", []), ("b", [("c", [])])],
+        edges=[{"a", "b"}, {"b", "c"}],
+    )
+    assert flat.key() != chain().key()
+
+
+def test_constant_flag_in_key():
+    plain = FTree([FNode({"a"})], Hypergraph([]))
+    const = FTree([FNode({"a"}, constant=True)], Hypergraph([]))
+    assert plain.key() != const.key()
+
+
+def test_replace_node_splices_children():
+    t = chain()
+    # Remove b, splicing c into a's children.
+    out = t.replace_node(frozenset({"b"}), [t.node_of("c")])
+    assert out.parent_of(out.node_of("c")).label == frozenset({"a"})
+    with pytest.raises(FTreeError):
+        t.replace_node(frozenset({"zz"}), [])
+
+
+def test_replace_node_removal():
+    t = chain()
+    out = t.replace_node(frozenset({"c"}), [])
+    assert "c" not in out.attributes()
+    assert len(list(out.iter_nodes())) == 2
+
+
+def test_pretty_renderings():
+    t = chain()
+    assert t.pretty_inline() == "{a}({b}({c}))"
+    assert t.pretty().splitlines() == ["a", "  b", "    c"]
+
+
+def test_subtree_attributes():
+    t = chain()
+    assert t.node_of("b").subtree_attributes() == frozenset(
+        {"b", "c"}
+    )
+    assert t.attributes() == frozenset({"a", "b", "c"})
+
+
+def test_class_partition():
+    t = FTree.from_nested(
+        [(("a", "b"), [("c", [])])], edges=[{"a", "c"}]
+    )
+    assert t.class_partition() == frozenset(
+        {frozenset({"a", "b"}), frozenset({"c"})}
+    )

@@ -1,0 +1,121 @@
+"""Unit tests for the dependency hypergraph."""
+
+from repro.query.hypergraph import Hypergraph
+
+
+def lab(*attrs):
+    return frozenset(attrs)
+
+
+def test_edges_are_deduplicated_and_frozen():
+    h = Hypergraph([{"a", "b"}, {"b", "a"}, {"c"}])
+    assert len(h) == 2
+    assert lab("a", "b") in h.edges
+
+
+def test_empty_edges_dropped():
+    h = Hypergraph([set(), {"a"}])
+    assert len(h) == 1
+
+
+def test_attributes_union():
+    h = Hypergraph([{"a", "b"}, {"c"}])
+    assert h.attributes() == lab("a", "b", "c")
+
+
+def test_touches_requires_single_edge_spanning_both():
+    h = Hypergraph([{"a", "b"}, {"b", "c"}])
+    assert h.touches({"a"}, {"b"})
+    assert h.touches({"b"}, {"c"})
+    # a and c are only transitively related -- not "dependent".
+    assert not h.touches({"a"}, {"c"})
+
+
+def test_edges_touching():
+    h = Hypergraph([{"a", "b"}, {"b", "c"}, {"d"}])
+    assert sorted(sorted(e) for e in h.edges_touching({"b"})) == [
+        ["a", "b"],
+        ["b", "c"],
+    ]
+    assert h.edges_touching({"z"}) == []
+
+
+def test_restrict_projects_edges():
+    h = Hypergraph([{"a", "b"}, {"b", "c"}])
+    r = h.restrict({"a", "b"})
+    assert r.edges == frozenset({lab("a", "b"), lab("b")})
+
+
+def test_without_attributes_strips_them():
+    h = Hypergraph([{"a", "b"}, {"a"}])
+    r = h.without_attributes({"a"})
+    assert r.edges == frozenset({lab("b")})
+
+
+def test_merge_edges_touching_builds_phantom_edge():
+    # Projecting away b from {a,b} and {b,c}: a and c stay dependent.
+    h = Hypergraph([{"a", "b"}, {"b", "c"}, {"d", "e"}])
+    merged = h.merge_edges_touching({"b"})
+    assert lab("a", "c") in merged.edges
+    assert lab("d", "e") in merged.edges
+    assert len(merged) == 2
+
+
+def test_merge_edges_touching_no_match_is_identity():
+    h = Hypergraph([{"a", "b"}])
+    assert h.merge_edges_touching({"z"}) == h
+
+
+def test_merge_edges_touching_can_drop_empty_phantom():
+    h = Hypergraph([{"a"}, {"a", "b"}])
+    merged = h.merge_edges_touching({"a", "b"})
+    assert len(merged) == 0
+
+
+def test_components_connected_through_edges():
+    h = Hypergraph([{"a", "b"}, {"b", "c"}, {"x", "y"}])
+    labels = [lab("a"), lab("b"), lab("c"), lab("x"), lab("y"), lab("z")]
+    comps = h.components(labels)
+    as_sets = sorted(
+        sorted(sorted(l) for l in comp) for comp in comps
+    )
+    assert as_sets == [
+        [["a"], ["b"], ["c"]],
+        [["x"], ["y"]],
+        [["z"]],
+    ]
+
+
+def test_components_with_multi_attribute_labels():
+    h = Hypergraph([{"a", "b"}])
+    labels = [lab("a", "q"), lab("b", "r")]
+    comps = h.components(labels)
+    assert len(comps) == 1 and len(comps[0]) == 2
+
+
+def test_components_preserve_input_order():
+    h = Hypergraph([])
+    labels = [lab("m"), lab("a"), lab("z")]
+    comps = h.components(labels)
+    assert [next(iter(c[0])) for c in comps] == ["m", "a", "z"]
+
+
+def test_is_chain():
+    h = Hypergraph([])
+    a, b, c = lab("a"), lab("b"), lab("c")
+    ancestors = {a: [], b: [a], c: [a, b]}
+    assert h.is_chain([a, b, c], ancestors)
+    assert h.is_chain([a, c], ancestors)
+    assert h.is_chain([b], ancestors)
+    # siblings b and c' (both children of a) are not a chain
+    c2 = lab("c2")
+    ancestors2 = {a: [], b: [a], c2: [a]}
+    assert not h.is_chain([b, c2], ancestors2)
+
+
+def test_hashable_and_equal():
+    h1 = Hypergraph([{"a", "b"}])
+    h2 = Hypergraph([frozenset({"b", "a"})])
+    assert h1 == h2
+    assert hash(h1) == hash(h2)
+    assert len({h1, h2}) == 1

@@ -1,0 +1,179 @@
+"""Unit tests for the merge and absorb selection operators (Section 3.3)."""
+
+import pytest
+
+from repro.core.build import factorise
+from repro.core.factorised import FactorisedRelation
+from repro.core.ftree import FTree
+from repro.ops import (
+    absorb,
+    absorb_tree,
+    merge,
+    merge_tree,
+    product,
+    swap,
+    OperatorError,
+)
+from repro.relational.relation import Relation
+from repro.workloads import grocery_database, tree_t1, tree_t4
+from tests.conftest import assignments, filtered
+
+
+def sibling_fr():
+    """Two independent unary relations as sibling roots."""
+    r = Relation.from_rows("R", ("a",), [(1,), (2,), (3,)])
+    s = Relation.from_rows("S", ("b",), [(2,), (3,), (4,)])
+    tree = FTree.from_nested(
+        [("a", []), ("b", [])], edges=[{"a"}, {"b"}]
+    )
+    return FactorisedRelation(tree, factorise([r, s], tree))
+
+
+def chain_fr():
+    """X(a,b) join Y(b2,c) join Z(c2,d) over the chain tree."""
+    x = Relation.from_rows(
+        "X", ("a", "b"), [(i, i % 3) for i in range(6)]
+    )
+    y = Relation.from_rows(
+        "Y", ("b2", "c"), [(i % 3, i % 2) for i in range(6)]
+    )
+    z = Relation.from_rows(
+        "Z", ("c2", "d"), [(i % 2, i) for i in range(4)]
+    )
+    tree = FTree.from_nested(
+        [(("b", "b2"), [("a", []), (("c", "c2"), [("d", [])])])],
+        edges=[{"a", "b"}, {"b2", "c"}, {"c2", "d"}],
+    )
+    return FactorisedRelation(tree, factorise([x, y, z], tree))
+
+
+def test_merge_of_top_level_roots():
+    fr = sibling_fr()
+    out = merge(fr, "a", "b").validate()
+    assert assignments(out) == filtered(fr, [("a", "b")])
+    assert out.tree.node_of("a").label == frozenset({"a", "b"})
+
+
+def test_merge_empty_intersection_empties_result():
+    r = Relation.from_rows("R", ("a",), [(1,)])
+    s = Relation.from_rows("S", ("b",), [(2,)])
+    tree = FTree.from_nested(
+        [("a", []), ("b", [])], edges=[{"a"}, {"b"}]
+    )
+    fr = FactorisedRelation(tree, factorise([r, s], tree))
+    out = merge(fr, "a", "b")
+    assert out.is_empty()
+
+
+def test_merge_requires_siblings():
+    fr = chain_fr()
+    with pytest.raises(OperatorError):
+        merge(fr, "b", "d")  # ancestor/descendant, not siblings
+    with pytest.raises(OperatorError):
+        merge(fr, "b", "b2")  # same node already
+
+
+def test_merge_example9_t5():
+    """Example 9: merging the item roots of T1 and T4 yields T5."""
+    db = grocery_database()
+    t1 = tree_t1()
+    fr1 = FactorisedRelation(
+        t1, factorise([db["Orders"], db["Store"], db["Disp"]], t1)
+    )
+    t4 = tree_t4()
+    fr2 = FactorisedRelation(
+        t4, factorise([db["Produce"], db["Serve"]], t4)
+    )
+    prod = product(fr1, fr2)
+    out = merge(prod, "o_item", "p_item").validate()
+    expected = filtered(prod, [("o_item", "p_item")])
+    assert assignments(out) == expected
+    # Roots merged: one root labelled by all three item attributes.
+    assert out.tree.node_of("o_item").label == frozenset(
+        {"o_item", "s_item", "p_item"}
+    )
+
+
+def test_merge_preserves_normalisation_and_paths():
+    fr = sibling_fr()
+    out = merge(fr, "a", "b")
+    assert out.tree.satisfies_path_constraint()
+    assert out.tree.is_normalised()
+
+
+def test_absorb_direct_child():
+    fr = chain_fr()
+    out = absorb(fr, "b", "c").validate()
+    assert assignments(out) == filtered(fr, [("b", "c")])
+    merged = out.tree.node_of("b")
+    assert {"b", "b2", "c", "c2"} <= set(merged.label)
+
+
+def test_absorb_grandchild_with_normalisation():
+    """Example 10's pattern: absorbing frees the middle subtree."""
+    fr = chain_fr()
+    out = absorb(fr, "b", "d").validate()
+    assert assignments(out) == filtered(fr, [("b", "d")])
+    assert out.tree.is_normalised()
+
+
+def test_absorb_requires_ancestor():
+    fr = chain_fr()
+    with pytest.raises(OperatorError):
+        absorb(fr, "d", "b")  # wrong direction
+    with pytest.raises(OperatorError):
+        absorb(fr, "a", "d")  # a is not an ancestor of d
+    with pytest.raises(OperatorError):
+        absorb(fr, "b", "b2")  # same node
+
+
+def test_absorb_can_empty_the_result():
+    x = Relation.from_rows("X", ("a", "b"), [(1, 5)])
+    y = Relation.from_rows("Y", ("b2", "c"), [(5, 7)])
+    tree = FTree.from_nested(
+        [(("b", "b2"), [("a", []), ("c", [])])],
+        edges=[{"a", "b"}, {"b2", "c"}],
+    )
+    fr = FactorisedRelation(tree, factorise([x, y], tree))
+    out = absorb(fr, "b", "c")  # b=5 vs c=7: no match
+    assert out.is_empty()
+
+
+def test_example10_absorb_releases_independent_subtree():
+    """Example 10: after alpha_{A,C}, D becomes independent of B."""
+    edges = [{"A", "B"}, {"B2", "C"}, {"C2", "D"}]
+    tree = FTree.from_nested(
+        [
+            (
+                "A",
+                [(("B", "B2"), [(("C", "C2"), [("D", [])])])],
+            )
+        ],
+        edges=edges,
+    )
+    out = absorb_tree(tree, "A", "C")
+    root = out.roots[0]
+    assert root.label == frozenset({"A", "C", "C2"})
+    child_labels = {frozenset(c.label) for c in root.children}
+    assert child_labels == {
+        frozenset({"B", "B2"}),
+        frozenset({"D"}),
+    }
+
+
+def test_merge_then_same_relation_as_absorb_route():
+    """Enforcing b=c via merge (after swap) == via absorb."""
+    fr = chain_fr()
+    via_absorb = absorb(fr, "b", "c")
+    # Alternative: swap c above b's child position to make it a sibling
+    # is not possible here (c is b's child), so compare against the
+    # reference semantics instead.
+    assert assignments(via_absorb) == filtered(fr, [("b", "c")])
+
+
+def test_absorb_on_empty_relation():
+    fr = chain_fr()
+    empty = FactorisedRelation(fr.tree, None)
+    out = absorb(empty, "b", "c")
+    assert out.is_empty()
+    assert out.tree.key() == absorb_tree(fr.tree, "b", "c").key()

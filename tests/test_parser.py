@@ -1,0 +1,83 @@
+"""Unit tests for the SQL-like parser."""
+
+import pytest
+
+from repro.query.parser import parse_query
+from repro.query.query import QueryError
+
+
+def test_select_star():
+    q = parse_query("SELECT * FROM R")
+    assert q.relations == ("R",)
+    assert q.projection is None
+    assert q.equalities == () and q.constants == ()
+
+
+def test_projection_list():
+    q = parse_query("SELECT a, b FROM R, S")
+    assert q.projection == ("a", "b")
+    assert q.relations == ("R", "S")
+
+
+def test_equality_condition():
+    q = parse_query("SELECT * FROM R, S WHERE a = c")
+    assert len(q.equalities) == 1
+    assert str(q.equalities[0]) == "a = c"
+
+
+def test_integer_constant():
+    q = parse_query("SELECT * FROM R WHERE a >= 3")
+    cond = q.constants[0]
+    assert cond.attribute == "a" and cond.op == ">=" and cond.value == 3
+
+
+def test_negative_integer_constant():
+    q = parse_query("SELECT * FROM R WHERE a = -5")
+    assert q.constants[0].value == -5
+
+
+def test_string_constants_both_quote_styles():
+    q = parse_query(
+        "SELECT * FROM R WHERE a = 'Izmir' AND b != \"Milk\""
+    )
+    assert q.constants[0].value == "Izmir"
+    assert q.constants[1].value == "Milk"
+
+
+def test_conjunction_mixes_condition_kinds():
+    q = parse_query(
+        "SELECT * FROM R, S WHERE a = c AND b < 10 AND d = 'x'"
+    )
+    assert len(q.equalities) == 1
+    assert len(q.constants) == 2
+
+
+def test_keywords_case_insensitive():
+    q = parse_query("select * from R where a = 1")
+    assert q.relations == ("R",)
+    assert q.constants[0].value == 1
+
+
+def test_non_equality_between_attributes_rejected():
+    with pytest.raises(QueryError):
+        parse_query("SELECT * FROM R WHERE a < b")
+
+
+def test_trailing_tokens_rejected():
+    with pytest.raises(QueryError):
+        parse_query("SELECT * FROM R garbage")
+
+
+def test_missing_from_rejected():
+    with pytest.raises(QueryError):
+        parse_query("SELECT *")
+
+
+def test_unterminated_condition_rejected():
+    with pytest.raises(QueryError):
+        parse_query("SELECT * FROM R WHERE a =")
+
+
+def test_garbage_rejected():
+    with pytest.raises(QueryError):
+        parse_query("SELECT * FROM R WHERE a = $$$")

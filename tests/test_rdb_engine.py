@@ -1,0 +1,133 @@
+"""Unit tests for the RDB flat query engine."""
+
+import pytest
+
+from repro.query.query import Query, QueryError
+from repro.relational.budget import Budget, BudgetExceeded
+from repro.relational.database import Database
+from repro.relational.engine import RelationalEngine
+from tests.conftest import flat_assignments
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.add_rows("R", ("a", "b"), [(1, 1), (1, 2), (2, 2), (3, 1)])
+    d.add_rows("S", ("c", "d"), [(1, 7), (2, 8), (2, 9)])
+    d.add_rows("T", ("e",), [(7,), (9,)])
+    return d
+
+
+def test_single_relation_scan(db):
+    out = RelationalEngine(db).evaluate(Query.make(["R"]))
+    assert out == db["R"]
+
+
+def test_two_way_join(db):
+    q = Query.make(["R", "S"], equalities=[("b", "c")])
+    out = RelationalEngine(db).evaluate(q)
+    assert out.cardinality == 6
+
+
+def test_three_way_join(db):
+    q = Query.make(
+        ["R", "S", "T"], equalities=[("b", "c"), ("d", "e")]
+    )
+    out = RelationalEngine(db).evaluate(q)
+    # (b=1,c=1,d=7,e=7): a in {1,3}; (b=2,c=2,d=9,e=9): a in {1,2}
+    assert out.cardinality == 4
+
+
+def test_hash_join_method_equivalent(db):
+    q = Query.make(
+        ["R", "S", "T"], equalities=[("b", "c"), ("d", "e")]
+    )
+    a = RelationalEngine(db, join_method="sort-merge").evaluate(q)
+    b = RelationalEngine(db, join_method="hash").evaluate(q)
+    assert a == b
+
+
+def test_constant_selection_pushed_down(db):
+    q = Query.make(
+        ["R", "S"],
+        equalities=[("b", "c")],
+        constants=[("a", "=", 1)],
+    )
+    out = RelationalEngine(db).evaluate(q)
+    assert all(row[0] == 1 for row in out)
+    assert out.cardinality == 3
+
+
+def test_intra_relation_equality(db):
+    q = Query.make(["R"], equalities=[("a", "b")])
+    out = RelationalEngine(db).evaluate(q)
+    assert set(out.rows) == {(1, 1), (2, 2)}
+
+
+def test_projection_applied_last(db):
+    q = Query.make(
+        ["R", "S"], equalities=[("b", "c")], projection=["a", "d"]
+    )
+    out = RelationalEngine(db).evaluate(q)
+    assert out.attributes == ("a", "d")
+    assert out.cardinality == 6  # no duplicate (a, d) pairs here
+
+
+def test_disconnected_query_is_product(db):
+    q = Query.make(["R", "T"])
+    out = RelationalEngine(db).evaluate(q)
+    assert out.cardinality == len(db["R"]) * len(db["T"])
+
+
+def test_self_join_via_renamed_copy(db):
+    db.add_renamed("R", "R2", {"a": "a2", "b": "b2"})
+    q = Query.make(["R", "R2"], equalities=[("b", "a2")])
+    out = RelationalEngine(db).evaluate(q)
+    expected = {
+        (a, b, a2, b2)
+        for (a, b) in db["R"].rows
+        for (a2, b2) in db["R"].rows
+        if b == a2
+    }
+    assert set(out.rows) == expected
+
+
+def test_empty_query_rejected(db):
+    with pytest.raises(QueryError):
+        RelationalEngine(db).evaluate(Query.make([]))
+
+
+def test_unknown_join_method_rejected(db):
+    with pytest.raises(ValueError):
+        RelationalEngine(db, join_method="nested-loop")
+
+
+def test_result_data_elements_counts_values(db):
+    q = Query.make(["R", "S"], equalities=[("b", "c")])
+    engine = RelationalEngine(db)
+    assert engine.result_data_elements(q) == 6 * 4
+
+
+def test_budget_timeout_propagates():
+    db = Database()
+    n = 400
+    db.add_rows("A", ("x", "y"), [(i, i % 2) for i in range(n)])
+    db.add_rows("B", ("u", "v"), [(i % 2, i) for i in range(n)])
+    engine = RelationalEngine(db, budget=Budget(max_rows=1000))
+    with pytest.raises(BudgetExceeded):
+        engine.evaluate(Query.make(["A", "B"], [("y", "u")]))
+
+
+def test_greedy_order_prefers_selective_join(db):
+    # The greedy planner must produce the correct result regardless of
+    # relation order in the query.
+    q1 = Query.make(
+        ["T", "S", "R"], equalities=[("b", "c"), ("d", "e")]
+    )
+    q2 = Query.make(
+        ["R", "S", "T"], equalities=[("b", "c"), ("d", "e")]
+    )
+    engine = RelationalEngine(db)
+    assert flat_assignments(engine.evaluate(q1)) == flat_assignments(
+        engine.evaluate(q2)
+    )

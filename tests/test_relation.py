@@ -1,0 +1,99 @@
+"""Unit tests for schemas and in-memory relations."""
+
+import pytest
+
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema, SchemaError
+
+
+def test_schema_rejects_duplicates_and_empty_name():
+    with pytest.raises(SchemaError):
+        RelationSchema("R", ("a", "a"))
+    with pytest.raises(SchemaError):
+        RelationSchema("", ("a",))
+
+
+def test_schema_index_and_positions():
+    s = RelationSchema("R", ("a", "b", "c"))
+    assert s.index_of("b") == 1
+    assert s.positions() == {"a": 0, "b": 1, "c": 2}
+    with pytest.raises(SchemaError):
+        s.index_of("zz")
+
+
+def test_schema_project_and_rename():
+    s = RelationSchema("R", ("a", "b"))
+    assert s.project(["b"]).attributes == ("b",)
+    renamed = s.renamed("R2", {"a": "x"})
+    assert renamed.name == "R2" and renamed.attributes == ("x", "b")
+
+
+def test_schema_concat_disjointness():
+    s = RelationSchema("R", ("a",))
+    t = RelationSchema("S", ("b",))
+    assert s.concat(t, "RS").attributes == ("a", "b")
+    with pytest.raises(SchemaError):
+        s.concat(RelationSchema("S2", ("a",)), "bad")
+
+
+def test_relation_sorts_and_dedupes():
+    r = Relation.from_rows("R", ("a", "b"), [(2, 1), (1, 2), (2, 1)])
+    assert list(r) == [(1, 2), (2, 1)]
+    assert r.cardinality == 2
+
+
+def test_relation_arity_mismatch_rejected():
+    with pytest.raises(SchemaError):
+        Relation.from_rows("R", ("a", "b"), [(1,)])
+
+
+def test_membership_uses_binary_search():
+    r = Relation.from_rows("R", ("a",), [(i,) for i in range(100)])
+    assert (50,) in r
+    assert (200,) not in r
+
+
+def test_distinct_count_cached_and_correct():
+    r = Relation.from_rows(
+        "R", ("a", "b"), [(1, 1), (1, 2), (2, 2), (2, 3)]
+    )
+    assert r.distinct_count("a") == 2
+    assert r.distinct_count("b") == 3
+    assert r.values("a") == [1, 2]
+
+
+def test_equality_ignores_attribute_order():
+    r = Relation.from_rows("R", ("a", "b"), [(1, 2), (3, 4)])
+    s = Relation.from_rows("S", ("b", "a"), [(2, 1), (4, 3)])
+    assert r == s
+
+
+def test_equality_detects_different_content():
+    r = Relation.from_rows("R", ("a",), [(1,)])
+    s = Relation.from_rows("S", ("a",), [(2,)])
+    assert r != s
+
+
+def test_equality_different_schema_sets():
+    r = Relation.from_rows("R", ("a",), [(1,)])
+    s = Relation.from_rows("S", ("b",), [(1,)])
+    assert r != s
+
+
+def test_renamed_shares_rows():
+    r = Relation.from_rows("R", ("a", "b"), [(1, 2)])
+    r2 = r.renamed("R2", {"a": "x"})
+    assert r2.attributes == ("x", "b")
+    assert list(r2) == [(1, 2)]
+
+
+def test_sorted_by_secondary_attribute():
+    r = Relation.from_rows("R", ("a", "b"), [(1, 9), (2, 1), (3, 5)])
+    assert r.sorted_by(["b"]) == [(2, 1), (3, 5), (1, 9)]
+
+
+def test_pretty_renders_header_and_truncation():
+    r = Relation.from_rows("R", ("a",), [(i,) for i in range(20)])
+    text = r.pretty(limit=3)
+    assert text.splitlines()[0] == "a"
+    assert "(20 rows)" in text

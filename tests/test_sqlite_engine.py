@@ -1,0 +1,87 @@
+"""Unit tests for the SQLite comparator engine."""
+
+import pytest
+
+from repro.query.query import Query
+from repro.relational.database import Database
+from repro.relational.engine import RelationalEngine
+from repro.relational.sqlite_engine import SQLiteEngine
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.add_rows("R", ("a", "b"), [(1, 1), (1, 2), (2, 2), (3, 1)])
+    d.add_rows("S", ("c", "d"), [(1, 7), (2, 8), (2, 9)])
+    return d
+
+
+def test_counts_match_rdb(db):
+    q = Query.make(["R", "S"], equalities=[("b", "c")])
+    with SQLiteEngine(db) as sqlite:
+        assert sqlite.count(q) == RelationalEngine(db).count(q)
+
+
+def test_rows_match_rdb(db):
+    q = Query.make(
+        ["R", "S"],
+        equalities=[("b", "c")],
+        constants=[("d", ">", 7)],
+    )
+    flat = RelationalEngine(db).evaluate(q)
+    with SQLiteEngine(db) as sqlite:
+        rows = sqlite.evaluate(q)
+    # Column order differs (RDB's join order is plan-dependent);
+    # compare as attribute/value sets.
+    sqlite_attrs = db["R"].attributes + db["S"].attributes
+    got = {tuple(sorted(zip(sqlite_attrs, row))) for row in rows}
+    expected = {
+        tuple(sorted(zip(flat.attributes, row))) for row in flat
+    }
+    assert got == expected
+
+
+def test_projection(db):
+    q = Query.make(["R"], projection=["b"])
+    with SQLiteEngine(db) as sqlite:
+        rows = sqlite.evaluate(q)
+    assert sorted(rows) == [(1,), (2,)]
+
+
+def test_to_sql_parametrises_constants(db):
+    q = Query.make(["R"], constants=[("a", "=", 1)])
+    with SQLiteEngine(db) as sqlite:
+        sql, params = sqlite.to_sql(q)
+    assert "?" in sql and params == [1]
+
+
+def test_string_values_round_trip():
+    db = Database()
+    db.add_rows("P", ("name", "item"), [("Guney", "Milk")])
+    q = Query.make(["P"], constants=[("item", "=", "Milk")])
+    with SQLiteEngine(db) as sqlite:
+        assert sqlite.evaluate(q) == [("Guney", "Milk")]
+
+
+def test_pragmas_applied(db):
+    engine = SQLiteEngine(db)
+    cur = engine._conn.execute("PRAGMA temp_store")
+    assert cur.fetchone()[0] == 2  # MEMORY
+    engine.close()
+
+
+def test_three_engine_agreement_on_random_queries(db):
+    queries = [
+        Query.make(["R", "S"], equalities=[("b", "c")]),
+        Query.make(["R", "S"], equalities=[("a", "d")]),
+        Query.make(["R"], equalities=[("a", "b")]),
+        Query.make(
+            ["R", "S"],
+            equalities=[("b", "c")],
+            constants=[("a", "<", 3)],
+        ),
+    ]
+    rdb = RelationalEngine(db)
+    with SQLiteEngine(db) as sqlite:
+        for q in queries:
+            assert sqlite.count(q) == rdb.count(q), str(q)

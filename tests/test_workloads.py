@@ -1,0 +1,127 @@
+"""Unit tests for the Section 5 workload generators."""
+
+import pytest
+
+from repro.query.equivalence import UnionFind
+from repro.workloads import (
+    attribute_name,
+    combinatorial_database,
+    grocery_database,
+    query_q1,
+    random_database,
+    random_equalities,
+    random_followup_equalities,
+    random_query,
+    split_attributes,
+    tree_t1,
+    zipf_values,
+)
+
+
+def test_attribute_names_are_stable():
+    assert attribute_name(0) == "a00"
+    assert attribute_name(12) == "a12"
+
+
+def test_split_attributes_uniform():
+    parts = split_attributes(10, 3)
+    assert [len(p) for p in parts] == [4, 3, 3]
+    flat = [a for part in parts for a in part]
+    assert flat == [attribute_name(i) for i in range(10)]
+
+
+def test_split_attributes_rejects_impossible():
+    with pytest.raises(ValueError):
+        split_attributes(2, 3)
+
+
+def test_random_database_shape():
+    db = random_database(4, 10, 25, domain=7, seed=1)
+    assert len(db) == 4
+    assert len(db.attributes()) == 10
+    for relation in db:
+        assert relation.cardinality <= 25  # dedup may shrink
+        for row in relation:
+            assert all(1 <= v <= 7 for v in row)
+
+
+def test_random_database_reproducible():
+    a = random_database(3, 9, 20, seed=42)
+    b = random_database(3, 9, 20, seed=42)
+    for name in a.names:
+        assert list(a[name]) == list(b[name])
+
+
+def test_random_database_distributions_differ():
+    uniform = random_database(1, 2, 500, seed=7, distribution="uniform")
+    zipf = random_database(1, 2, 500, seed=7, distribution="zipf")
+    assert list(uniform["R0"]) != list(zipf["R0"])
+
+
+def test_zipf_is_skewed():
+    import random as stdlib_random
+
+    values = zipf_values(stdlib_random.Random(0), 5000, 100)
+    ones = values.count(1)
+    hundreds = values.count(100)
+    assert ones > 20 * max(hundreds, 1)
+
+
+def test_random_equalities_nonredundant():
+    db = random_database(3, 9, 10, seed=2)
+    eqs = random_equalities(db, 5, seed=3)
+    assert len(eqs) == 5
+    uf = UnionFind(db.attributes())
+    for a, b in eqs:
+        assert uf.union(a, b)  # each merge must be fresh
+
+
+def test_random_equalities_limit():
+    db = random_database(2, 4, 5, seed=1)
+    with pytest.raises(ValueError):
+        random_equalities(db, 4, seed=1)  # at most A-1 = 3
+
+
+def test_random_query_covers_all_relations():
+    db = random_database(3, 9, 10, seed=5)
+    q = random_query(db, 2, seed=6)
+    assert set(q.relations) == set(db.names)
+    assert len(q.equalities) == 2
+
+
+def test_combinatorial_database_matches_paper_spec():
+    db = combinatorial_database(seed=9)
+    sizes = sorted(r.cardinality for r in db)
+    arities = sorted(r.schema.arity for r in db)
+    assert arities == [2, 2, 3, 3]
+    # 64 and 512 rows before dedup; dedup may shrink slightly.
+    assert sizes[0] <= 64 and sizes[-1] <= 512
+    assert len(db.attributes()) == 10
+    for relation in db:
+        for row in relation:
+            assert all(1 <= v <= 20 for v in row)
+
+
+def test_random_followup_equalities_merge_distinct_classes():
+    tree = tree_t1()
+    eqs = random_followup_equalities(tree, 2, seed=4)
+    assert len(eqs) == 2
+    for a, b in eqs:
+        assert tree.node_of(a).label != tree.node_of(b).label
+
+
+def test_random_followup_equalities_limit():
+    tree = tree_t1()  # 4 nodes -> at most 3 merges
+    with pytest.raises(ValueError):
+        random_followup_equalities(tree, 4, seed=0)
+
+
+def test_grocery_matches_figure1():
+    db = grocery_database()
+    assert db["Orders"].cardinality == 5
+    assert db["Store"].cardinality == 6
+    assert db["Disp"].cardinality == 4
+    assert db["Produce"].cardinality == 4
+    assert db["Serve"].cardinality == 5
+    q = query_q1()
+    q.validate_against(db.schema())
