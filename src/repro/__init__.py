@@ -20,7 +20,8 @@ Layers (bottom-up): :mod:`repro.relational` (the flat RDB substrate),
 f-representations), :mod:`repro.ops` (f-plan operators),
 :mod:`repro.costs` (edge covers and ``s(T)``), :mod:`repro.optimiser`
 (f-tree and f-plan optimisers), :mod:`repro.engine` (the FDB facade),
-:mod:`repro.workloads` (Section 5 data generators).
+:mod:`repro.service` (plan-cached query sessions for repeated
+traffic), :mod:`repro.workloads` (Section 5 data generators).
 """
 
 from repro.core.factorised import FactorisedRelation
@@ -33,8 +34,9 @@ from repro.relational.database import Database
 from repro.relational.engine import RelationalEngine
 from repro.relational.relation import Relation
 from repro.relational.sqlite_engine import SQLiteEngine
+from repro.service.session import QuerySession, SessionResult, SessionStats
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Budget",
@@ -46,8 +48,11 @@ __all__ = [
     "FTree",
     "parse_query",
     "Query",
+    "QuerySession",
     "Relation",
     "RelationalEngine",
+    "SessionResult",
+    "SessionStats",
     "SQLiteEngine",
     "__version__",
 ]

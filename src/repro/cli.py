@@ -4,6 +4,8 @@ Subcommands:
 
 - ``query``      evaluate an SQL-like SPJ query over CSV relations,
                  printing the factorised result (or flat rows);
+- ``batch``      run many queries through one plan-cached
+                 :class:`~repro.service.QuerySession`;
 - ``compile``    factorise a query result and save it to a file;
 - ``stats``      show f-tree, sizes and costs of a saved factorisation;
 - ``experiment`` run one of the paper's experiments (1-4);
@@ -38,8 +40,10 @@ from repro.experiments import (
     run_experiment4,
 )
 from repro.query.parser import parse_query
+from repro.relational.budget import Budget, BudgetExceeded
 from repro.relational.csvio import load_database
 from repro.relational.database import Database
+from repro.service.session import QuerySession
 
 
 def _load(paths: Sequence[str]) -> Database:
@@ -77,6 +81,78 @@ def cmd_query(args: argparse.Namespace) -> int:
     elapsed = time.perf_counter() - start
     _print_result(fr, args.flat, args.limit)
     print(f"evaluated in {elapsed:.4f}s")
+    return 0
+
+
+def _read_batch_queries(args: argparse.Namespace) -> List[str]:
+    statements: List[str] = []
+    if args.queries:
+        if args.queries == "-":
+            text = sys.stdin.read()
+        else:
+            with open(args.queries) as handle:
+                text = handle.read()
+        for line in text.splitlines():
+            line = line.strip().rstrip(";")
+            if line and not line.startswith("#"):
+                statements.append(line)
+    statements.extend(args.sql or [])
+    if not statements:
+        raise SystemExit(
+            "no queries: pass a query file (or '-') or --sql ..."
+        )
+    return statements
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    db = _load(args.csv)
+    queries = [parse_query(stmt) for stmt in _read_batch_queries(args)]
+    queries = queries * args.repeat
+    budget = (
+        Budget(timeout_seconds=args.timeout)
+        if args.timeout is not None
+        else None
+    )
+    session = QuerySession(
+        db,
+        plan_search=args.planner,
+        fallback_budget=args.fallback_budget,
+        budget=budget,
+    )
+    start = time.perf_counter()
+    try:
+        results = session.run_batch(queries, engine=args.engine)
+    except BudgetExceeded as exc:
+        raise SystemExit(f"batch aborted: {exc}")
+    elapsed = time.perf_counter() - start
+    if args.verbose:
+        for i, result in enumerate(results):
+            flag = (
+                "dedup"
+                if result.deduped
+                else ("hit" if result.cached else "miss")
+            )
+            print(
+                f"[{i:3d}] {result.engine:6s} {flag:5s} "
+                f"{result.count():8d} tuples  "
+                f"{result.elapsed:.4f}s  {result.query}"
+            )
+    stats = session.stats
+    print(
+        f"{len(results)} queries in {elapsed:.4f}s "
+        f"({len(results) / max(elapsed, 1e-9):.1f} q/s)"
+    )
+    reused = stats.plan_hits + stats.batch_deduped
+    print(
+        f"plans: {stats.plan_misses} compiled, {stats.plan_hits} cache "
+        f"hits, {stats.batch_deduped} batch-deduplicated "
+        f"(reuse rate {reused / max(len(results), 1):.0%})"
+    )
+    print(
+        f"fallbacks to flat engine: {stats.fallbacks}; "
+        f"statistics built {stats.stats_builds}x; "
+        f"invalidations: {stats.invalidations}"
+    )
     return 0
 
 
@@ -181,6 +257,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     q.add_argument("--limit", type=int, default=20)
     q.set_defaults(func=cmd_query)
+
+    b = sub.add_parser(
+        "batch",
+        help="run many queries through one plan-cached session",
+    )
+    add_csv(b)
+    b.add_argument(
+        "queries",
+        nargs="?",
+        help="file with one SPJ query per line ('-' for stdin)",
+    )
+    b.add_argument(
+        "--sql",
+        nargs="+",
+        help="inline queries (appended to the file's, if any)",
+    )
+    b.add_argument(
+        "--planner",
+        choices=["exhaustive", "greedy"],
+        default="exhaustive",
+    )
+    b.add_argument(
+        "--engine",
+        choices=["auto", "fdb", "flat", "sqlite"],
+        default="auto",
+    )
+    b.add_argument(
+        "--fallback-budget",
+        type=float,
+        default=None,
+        help="estimated-singleton cap before falling back to the "
+        "flat engine (auto mode)",
+    )
+    b.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-query budget (seconds) for flat evaluation",
+    )
+    b.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="repeat the whole workload N times (warms the cache)",
+    )
+    b.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="print one line per query",
+    )
+    b.set_defaults(func=cmd_batch)
 
     c = sub.add_parser(
         "compile", help="factorise a query result to a file"

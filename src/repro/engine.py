@@ -65,17 +65,24 @@ class FDB:
         plan_search: str = "exhaustive",
         check_invariants: bool = False,
         cost_model: str = "asymptotic",
+        statistics=None,
     ) -> None:
         if plan_search not in ("exhaustive", "greedy"):
             raise ValueError(f"unknown plan search {plan_search!r}")
         if cost_model not in ("asymptotic", "estimates"):
             raise ValueError(f"unknown cost model {cost_model!r}")
+        if statistics is not None and cost_model != "estimates":
+            raise ValueError(
+                "statistics only apply with cost_model='estimates'"
+            )
         self.database = database
         self.plan_search = plan_search
         self.check_invariants = check_invariants
         self.cost_model = cost_model
-        self._stats = None
-        if cost_model == "estimates":
+        # ``statistics`` lets a session share one catalogue across
+        # engines instead of rescanning the database per engine.
+        self._stats = statistics
+        if cost_model == "estimates" and self._stats is None:
             from repro.costs.cardinality import Statistics
 
             self._stats = Statistics.of_database(database)

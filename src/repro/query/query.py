@@ -83,6 +83,29 @@ class ConstantCondition:
         return f"{self.attribute} {self.op} {self.value!r}"
 
 
+def equality_partition(
+    equalities: Iterable[EqualityCondition],
+) -> Tuple[Tuple[str, ...], ...]:
+    """The canonical partition an equality conjunction induces.
+
+    Only classes of two or more attributes appear (singletons carry no
+    constraint), each as a sorted attribute tuple, the classes sorted
+    among themselves.  Two conjunctions are equivalent -- same order,
+    direction, or transitive closure -- iff their partitions are equal.
+    """
+    mentioned: set = set()
+    for eq in equalities:
+        mentioned.update((eq.left, eq.right))
+    uf = UnionFind(mentioned)
+    for eq in equalities:
+        uf.union(eq.left, eq.right)
+    return tuple(
+        sorted(
+            tuple(sorted(cls)) for cls in uf.classes() if len(cls) > 1
+        )
+    )
+
+
 @dataclass(frozen=True)
 class Query:
     """A select-project-join query.
@@ -167,6 +190,55 @@ class Query:
             if uf.union(eq.left, eq.right):
                 kept.append(eq)
         return tuple(kept)
+
+    def canonical_key(self) -> Tuple:
+        """A hashable key identifying the query up to reformulation.
+
+        Two queries share a key exactly when they are the same SPJ
+        query written differently:
+
+        - relation order is irrelevant (the join is a product);
+        - the equality conjunction is replaced by the partition of
+          attributes it induces, so condition order, direction
+          (``a = b`` vs ``b = a``) and redundant conditions implied by
+          transitivity all collapse;
+        - constant conditions are deduplicated and sorted;
+        - the projection is treated as an attribute set (results are
+          relations over sorted attributes, so column order does not
+          matter).
+
+        The key is the plan-cache index of the serving layer
+        (:mod:`repro.service`): a hit means the cached f-tree/f-plan
+        answers the incoming query verbatim.
+
+        >>> a = Query.make(["R", "S"], equalities=[("a", "b")])
+        >>> b = Query.make(["S", "R"], equalities=[("b", "a")])
+        >>> a.canonical_key() == b.canonical_key()
+        True
+        >>> c = Query.make(["R", "S"])
+        >>> a.canonical_key() == c.canonical_key()
+        False
+        """
+        classes = equality_partition(self.equalities)
+        constants = tuple(
+            sorted(
+                {
+                    (c.attribute, c.op, repr(c.value))
+                    for c in self.constants
+                }
+            )
+        )
+        projection = (
+            None
+            if self.projection is None
+            else tuple(sorted(set(self.projection)))
+        )
+        return (
+            tuple(sorted(self.relations)),
+            classes,
+            constants,
+            projection,
+        )
 
     def validate_against(self, schema: Mapping[str, Sequence[str]]) -> None:
         """Check the query against ``schema`` (relation -> attributes).

@@ -28,8 +28,19 @@ class Database:
     def __init__(self, relations: Iterable[Relation] = ()) -> None:
         self._relations: Dict[str, Relation] = {}
         self._attr_owner: Dict[str, str] = {}
+        self._version = 0
         for relation in relations:
             self.add(relation)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter, bumped on every catalogue change.
+
+        Consumers that cache derived state (statistics catalogues,
+        compiled plans -- see :mod:`repro.service`) compare the version
+        they captured against the current one to detect staleness.
+        """
+        return self._version
 
     def add(self, relation: Relation) -> Relation:
         """Register ``relation``; checks name/attribute uniqueness."""
@@ -44,6 +55,7 @@ class Database:
         self._relations[relation.name] = relation
         for attr in relation.attributes:
             self._attr_owner[attr] = relation.name
+        self._version += 1
         return relation
 
     def add_rows(
@@ -54,6 +66,23 @@ class Database:
     ) -> Relation:
         """Build and register a relation from raw rows."""
         return self.add(Relation.from_rows(name, attributes, rows))
+
+    def extend_rows(
+        self, name: str, rows: Iterable[Sequence[object]]
+    ) -> Relation:
+        """Append ``rows`` to an existing relation (set semantics).
+
+        Replaces the stored relation with one containing the union of
+        old and new tuples and bumps :attr:`version`, so cached plans
+        and statistics over this database are invalidated.
+        """
+        old = self[name]
+        merged = Relation.from_rows(
+            name, old.attributes, list(old.rows) + [tuple(r) for r in rows]
+        )
+        self._relations[name] = merged
+        self._version += 1
+        return merged
 
     def add_renamed(
         self, source: str, new_name: str, mapping: Mapping[str, str]

@@ -1,0 +1,20 @@
+"""The serving layer: cached, batched query sessions.
+
+Separates per-workload cost (optimisation, statistics) from per-query
+cost (plan replay) for repeated traffic -- see
+:mod:`repro.service.session` for the design rationale.
+"""
+
+from repro.service.session import (
+    CachedPlan,
+    QuerySession,
+    SessionResult,
+    SessionStats,
+)
+
+__all__ = [
+    "CachedPlan",
+    "QuerySession",
+    "SessionResult",
+    "SessionStats",
+]

@@ -1,0 +1,429 @@
+"""Query sessions: plan caching and batched execution.
+
+The paper's experiments (Figure 9) show that for FDB the *optimiser*
+dominates per-query cost: finding an optimal f-tree or f-plan is
+exponential in the worst case, while executing the chosen plan on
+factorised data is cheap.  A production deployment serving repeated
+traffic therefore must not pay the optimiser per arriving query.
+
+:class:`QuerySession` wraps the three engines of this reproduction --
+the factorised :class:`~repro.engine.FDB`, the flat
+:class:`~repro.relational.engine.RelationalEngine` and the
+:class:`~repro.relational.sqlite_engine.SQLiteEngine` comparator --
+behind one facade and separates per-workload from per-query cost:
+
+- **plan cache**: compiled plans (optimal f-trees for the flat input
+  path, :class:`~repro.optimiser.fplan.FPlan` step sequences for the
+  factorised input path) are cached under
+  :meth:`~repro.query.query.Query.canonical_key`, so reformulated
+  repeats (reordered ``FROM``/``WHERE``, flipped equalities) hit;
+- **statistics reuse**: one :class:`~repro.costs.cardinality.
+  Statistics` catalogue per session, shared by every engine and
+  rebuilt only when the :class:`~repro.relational.database.Database`
+  version counter moves;
+- **batch execution**: :meth:`QuerySession.run_batch` deduplicates
+  canonically-equal queries and evaluates each equivalence class once;
+- **explosion fallback**: when the estimated factorised size exceeds
+  ``fallback_budget``, evaluation routes to the flat engine under the
+  session's (time/row) :class:`~repro.relational.budget.Budget`
+  instead of materialising a pathological factorisation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import ops
+from repro.core.factorised import FactorisedRelation
+from repro.core.ftree import FTree
+from repro.costs.cardinality import Statistics, estimate_representation_size
+from repro.engine import FDB
+from repro.optimiser.fplan import FPlan
+from repro.query.query import Query, QueryError, equality_partition
+from repro.relational.budget import Budget
+from repro.relational.database import Database
+from repro.relational.engine import RelationalEngine
+from repro.relational.relation import Relation
+from repro.relational.sqlite_engine import SQLiteEngine
+
+#: Engines a session can route a query to.  ``auto`` means "factorised
+#: unless the estimate says the factorisation explodes".
+ENGINES = ("auto", "fdb", "flat", "sqlite")
+
+
+@dataclass
+class SessionStats:
+    """Counters describing what a session did (all monotone)."""
+
+    queries: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
+    fplan_hits: int = 0
+    fplan_misses: int = 0
+    stats_builds: int = 0
+    invalidations: int = 0
+    fallbacks: int = 0
+    batch_queries: int = 0
+    batch_deduped: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+    @property
+    def hit_rate(self) -> float:
+        """Plan-cache hit rate over flat-path queries (0.0 when idle)."""
+        total = self.plan_hits + self.plan_misses
+        return self.plan_hits / total if total else 0.0
+
+    def __str__(self) -> str:
+        parts = [f"{k}={v}" for k, v in self.as_dict().items()]
+        return f"SessionStats({', '.join(parts)})"
+
+
+@dataclass
+class CachedPlan:
+    """A compiled flat-path plan: the optimal f-tree plus metadata."""
+
+    key: Tuple
+    tree: FTree
+    hits: int = 0
+    #: Estimated factorisation size (singletons), filled lazily the
+    #: first time the fallback check needs it.
+    estimated_size: Optional[float] = None
+
+
+@dataclass
+class SessionResult:
+    """One evaluated query, normalised across engines.
+
+    ``rows()`` always yields sorted distinct tuples over the sorted
+    attribute order, so results from different engines (or a cached
+    result shared by canonically-equal queries whose projections list
+    attributes in different orders) compare equal exactly when they
+    represent the same relation.
+    """
+
+    query: Query
+    engine: str
+    cached: bool
+    elapsed: float
+    deduped: bool = False
+    factorised: Optional[FactorisedRelation] = None
+    flat: Optional[Relation] = None
+    raw: Optional[List[tuple]] = None
+    raw_attributes: Optional[Tuple[str, ...]] = None
+    plan: Optional[FPlan] = None
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """Result attributes in canonical (sorted) order."""
+        if self.factorised is not None:
+            return self.factorised.attributes
+        if self.flat is not None:
+            return tuple(sorted(self.flat.attributes))
+        return tuple(sorted(set(self.raw_attributes or ())))
+
+    def rows(self) -> List[tuple]:
+        """Sorted distinct result tuples over :attr:`attributes`."""
+        order = self.attributes
+        if self.factorised is not None:
+            return sorted(set(self.factorised.rows(order)))
+        if self.flat is not None:
+            perm = [self.flat.schema.index_of(a) for a in order]
+            return sorted(
+                {tuple(row[i] for i in perm) for row in self.flat}
+            )
+        raw_attrs = list(self.raw_attributes or ())
+        perm = [raw_attrs.index(a) for a in order]
+        return sorted(
+            {tuple(row[i] for i in perm) for row in self.raw or []}
+        )
+
+    def count(self) -> int:
+        """Number of distinct result tuples (no enumeration for FDB)."""
+        if self.factorised is not None:
+            return self.factorised.count()
+        if self.flat is not None:
+            return len(self.flat)
+        return len(self.rows())
+
+
+class QuerySession:
+    """A stateful facade over the three engines with plan caching.
+
+    Parameters
+    ----------
+    database:
+        The shared flat database.  Sessions watch its
+        :attr:`~repro.relational.database.Database.version` and drop
+        every cache when it moves.
+    plan_search / cost_model:
+        Forwarded to :class:`~repro.engine.FDB`.
+    fallback_budget:
+        Estimated-singleton threshold above which ``auto`` queries are
+        routed to the flat engine; ``None`` disables the fallback.
+    budget:
+        Optional :class:`~repro.relational.budget.Budget` guarding the
+        flat engine (fallbacks inherit the paper's timeout protocol).
+
+    >>> from repro.relational.database import Database
+    >>> from repro.query.parser import parse_query
+    >>> db = Database()
+    >>> _ = db.add_rows("R", ("a", "b"), [(1, 1), (1, 2), (2, 2)])
+    >>> _ = db.add_rows("S", ("c", "d"), [(1, 5), (2, 5), (2, 6)])
+    >>> session = QuerySession(db)
+    >>> q = parse_query("SELECT * FROM R, S WHERE b = c")
+    >>> session.run(q).count()
+    5
+    >>> session.run(parse_query(
+    ...     "SELECT * FROM S, R WHERE c = b")).cached
+    True
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        plan_search: str = "exhaustive",
+        cost_model: str = "asymptotic",
+        fallback_budget: Optional[float] = None,
+        budget: Optional[Budget] = None,
+        check_invariants: bool = False,
+    ) -> None:
+        self.database = database
+        self.plan_search = plan_search
+        self.cost_model = cost_model
+        self.fallback_budget = fallback_budget
+        self.budget = budget
+        self.check_invariants = check_invariants
+        self.stats = SessionStats()
+        self._sqlite: Optional[SQLiteEngine] = None
+        self._bind()
+
+    # -- cache lifecycle ---------------------------------------------------
+
+    def _bind(self) -> None:
+        """(Re)build engines and empty caches for the current version."""
+        self._version = self.database.version
+        self._plans: Dict[Tuple, CachedPlan] = {}
+        self._fplans: Dict[Tuple, FPlan] = {}
+        self._statistics: Optional[Statistics] = None
+        if self._sqlite is not None:
+            self._sqlite.close()
+            self._sqlite = None
+        shared = None
+        if self.cost_model == "estimates":
+            shared = self.statistics()
+        self._fdb = FDB(
+            self.database,
+            plan_search=self.plan_search,
+            check_invariants=self.check_invariants,
+            cost_model=self.cost_model,
+            statistics=shared,
+        )
+        self._flat = RelationalEngine(self.database, budget=self.budget)
+
+    def _refresh(self) -> None:
+        """Invalidate every cache if the database mutated underneath."""
+        if self.database.version != self._version:
+            self.stats.invalidations += 1
+            self._bind()
+
+    def statistics(self) -> Statistics:
+        """The session's statistics catalogue (built at most once per
+        database version)."""
+        if self._statistics is None:
+            self._statistics = Statistics.of_database(self.database)
+            self.stats.stats_builds += 1
+        return self._statistics
+
+    @property
+    def cached_plan_count(self) -> int:
+        return len(self._plans) + len(self._fplans)
+
+    def close(self) -> None:
+        if self._sqlite is not None:
+            self._sqlite.close()
+            self._sqlite = None
+
+    def __enter__(self) -> "QuerySession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- planning ----------------------------------------------------------
+
+    def compile(self, query: Query) -> Tuple[CachedPlan, bool]:
+        """The cached flat-path plan for ``query`` and whether it hit.
+
+        A miss runs the f-tree optimiser (the expensive step this
+        subsystem exists to amortise) and caches the result under the
+        query's canonical key.
+        """
+        self._refresh()
+        key = query.canonical_key()
+        cached = self._plans.get(key)
+        if cached is not None:
+            cached.hits += 1
+            self.stats.plan_hits += 1
+            return cached, True
+        self.stats.plan_misses += 1
+        query.validate_against(self.database.schema())
+        plan = CachedPlan(key=key, tree=self._fdb.optimal_tree(query))
+        self._plans[key] = plan
+        return plan, False
+
+    def _would_explode(self, plan: CachedPlan) -> bool:
+        if self.fallback_budget is None:
+            return False
+        if plan.estimated_size is None:
+            plan.estimated_size = estimate_representation_size(
+                plan.tree, self.statistics()
+            )
+        return plan.estimated_size > self.fallback_budget
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, query: Query, engine: str = "auto") -> SessionResult:
+        """Evaluate one query, routed per ``engine``."""
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; pick {ENGINES}")
+        self._refresh()
+        self.stats.queries += 1
+        start = time.perf_counter()
+        if engine == "flat":
+            flat = self._flat.evaluate(query)
+            return SessionResult(
+                query=query,
+                engine="flat",
+                cached=False,
+                elapsed=time.perf_counter() - start,
+                flat=flat,
+            )
+        if engine == "sqlite":
+            query.validate_against(self.database.schema())
+            rows = self._sqlite_engine().evaluate(query)
+            if query.projection is not None:
+                columns = query.projection
+            else:
+                columns = tuple(
+                    attr
+                    for name in query.relations
+                    for attr in self.database[name].attributes
+                )
+            return SessionResult(
+                query=query,
+                engine="sqlite",
+                cached=False,
+                elapsed=time.perf_counter() - start,
+                raw=rows,
+                raw_attributes=columns,
+            )
+        plan, hit = self.compile(query)
+        if engine == "auto" and self._would_explode(plan):
+            self.stats.fallbacks += 1
+            flat = self._flat.evaluate(query)
+            return SessionResult(
+                query=query,
+                engine="flat",
+                cached=hit,
+                elapsed=time.perf_counter() - start,
+                flat=flat,
+            )
+        fr = self._fdb.factorise_query(query, tree=plan.tree)
+        if query.projection is not None:
+            fr = ops.project(fr, query.projection)
+            if self.check_invariants:
+                fr.validate()
+        return SessionResult(
+            query=query,
+            engine="fdb",
+            cached=hit,
+            elapsed=time.perf_counter() - start,
+            factorised=fr,
+        )
+
+    def run_on(
+        self, fr: FactorisedRelation, query: Query
+    ) -> SessionResult:
+        """Evaluate over a factorised input, caching the f-plan.
+
+        Mirrors :meth:`FDB.evaluate_on` (constants, then equalities via
+        an f-plan, then projection) but keys the optimised
+        :class:`FPlan` on (input f-tree, canonical equality partition)
+        so repeated follow-up selections replay the cached step
+        sequence instead of re-optimising.
+        """
+        self._refresh()
+        self.stats.queries += 1
+        start = time.perf_counter()
+        current = fr
+        for cond in query.constants:
+            if cond.attribute not in current.tree.attributes():
+                raise QueryError(
+                    f"unknown attribute {cond.attribute!r}"
+                )
+            current = ops.select_constant(current, cond)
+            if self.check_invariants:
+                current.validate()
+        key = (current.tree.key(), equality_partition(query.equalities))
+        plan = self._fplans.get(key)
+        if plan is not None:
+            self.stats.fplan_hits += 1
+            hit = True
+        else:
+            self.stats.fplan_misses += 1
+            hit = False
+            pairs = [(eq.left, eq.right) for eq in query.equalities]
+            plan = self._fdb.plan_for(current.tree, pairs)
+            self._fplans[key] = plan
+        current = plan.execute(current)
+        if self.check_invariants:
+            current.validate()
+        if query.projection is not None:
+            current = ops.project(current, query.projection)
+            if self.check_invariants:
+                current.validate()
+        return SessionResult(
+            query=query,
+            engine="fdb",
+            cached=hit,
+            elapsed=time.perf_counter() - start,
+            factorised=current,
+            plan=plan,
+        )
+
+    def run_batch(
+        self, queries: Sequence[Query], engine: str = "auto"
+    ) -> List[SessionResult]:
+        """Evaluate a batch, one evaluation per canonical query.
+
+        Results come back in input order; canonically-equal repeats
+        share the first occurrence's result (flagged ``deduped``, with
+        zero elapsed time).
+        """
+        first: Dict[Tuple, SessionResult] = {}
+        out: List[SessionResult] = []
+        for query in queries:
+            self.stats.batch_queries += 1
+            key = query.canonical_key()
+            prior = first.get(key)
+            if prior is None:
+                result = self.run(query, engine=engine)
+                first[key] = result
+                out.append(result)
+            else:
+                self.stats.batch_deduped += 1
+                out.append(
+                    replace(prior, query=query, deduped=True, elapsed=0.0)
+                )
+        return out
+
+    # -- helpers -----------------------------------------------------------
+
+    def _sqlite_engine(self) -> SQLiteEngine:
+        if self._sqlite is None:
+            self._sqlite = SQLiteEngine(self.database, budget=self.budget)
+        return self._sqlite

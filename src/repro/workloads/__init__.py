@@ -3,10 +3,14 @@
 from repro.workloads.generator import (
     attribute_name,
     combinatorial_database,
+    permuted_variant,
     random_database,
     random_equalities,
     random_followup_equalities,
     random_query,
+    random_spj_queries,
+    random_spj_query,
+    repeated_query_workload,
     split_attributes,
     zipf_values,
 )
@@ -24,12 +28,16 @@ __all__ = [
     "attribute_name",
     "combinatorial_database",
     "grocery_database",
+    "permuted_variant",
     "query_q1",
     "query_q2",
     "random_database",
     "random_equalities",
     "random_followup_equalities",
     "random_query",
+    "random_spj_queries",
+    "random_spj_query",
+    "repeated_query_workload",
     "split_attributes",
     "tree_t1",
     "tree_t2",

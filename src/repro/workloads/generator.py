@@ -130,6 +130,150 @@ def random_query(db: Database, equalities: int, seed: int = 0) -> Query:
     )
 
 
+def random_spj_query(
+    db: Database,
+    seed: int = 0,
+    max_relations: Optional[int] = None,
+    max_equalities: int = 3,
+    max_constants: int = 2,
+    projection_probability: float = 0.5,
+) -> Query:
+    """A random full SPJ query over a subset of the database.
+
+    Unlike :func:`random_query` (the paper's equi-join over *all*
+    relations), this draws from the whole SPJ space served by every
+    engine: a random relation subset, non-redundant equalities over its
+    attributes, constant comparisons drawn from the *actual* attribute
+    values (so selections are rarely trivially empty), and an optional
+    projection.  Used by the cross-engine differential harness.
+    """
+    rng = random.Random(seed)
+    names = db.names
+    cap = len(names) if max_relations is None else min(
+        max_relations, len(names)
+    )
+    relations = rng.sample(names, rng.randint(1, cap))
+    attrs = [a for name in relations for a in db[name].attributes]
+
+    equalities: List[Tuple[str, str]] = []
+    eq_cap = min(max_equalities, len(attrs) - 1)
+    if eq_cap > 0:
+        uf = UnionFind(attrs)
+        wanted = rng.randint(0, eq_cap)
+        tries = 0
+        while len(equalities) < wanted and tries < 1000:
+            left, right = rng.sample(attrs, 2)
+            if uf.union(left, right):
+                equalities.append((left, right))
+            tries += 1
+
+    constants: List[Tuple[str, str, object]] = []
+    for _ in range(rng.randint(0, max_constants)):
+        attr = rng.choice(attrs)
+        values = db.relation_of(attr).values(attr)
+        constants.append(
+            (
+                attr,
+                rng.choice(("=", "!=", "<", "<=", ">", ">=")),
+                rng.choice(values) if values else 1,
+            )
+        )
+
+    projection: Optional[List[str]] = None
+    if rng.random() < projection_probability:
+        projection = rng.sample(attrs, rng.randint(1, len(attrs)))
+    return Query.make(
+        relations,
+        equalities=equalities,
+        constants=constants,
+        projection=projection,
+    )
+
+
+def random_spj_queries(
+    db: Database, count: int, seed: int = 0, **kwargs
+) -> List[Query]:
+    """``count`` independent :func:`random_spj_query` draws."""
+    rng = random.Random(seed)
+    return [
+        random_spj_query(db, seed=rng.randrange(2**31), **kwargs)
+        for _ in range(count)
+    ]
+
+
+def permuted_variant(query: Query, seed: int = 0) -> Query:
+    """A semantically identical reformulation of ``query``.
+
+    Shuffles relation order, equality order and direction, constant
+    order and projection order -- every rewrite that
+    :meth:`~repro.query.query.Query.canonical_key` normalises away --
+    so repeated-query workloads exercise the plan cache with queries
+    that are equal in meaning but not in syntax.
+    """
+    rng = random.Random(seed)
+    relations = list(query.relations)
+    rng.shuffle(relations)
+    equalities = [
+        (eq.right, eq.left) if rng.random() < 0.5 else (eq.left, eq.right)
+        for eq in query.equalities
+    ]
+    rng.shuffle(equalities)
+    constants = [
+        (c.attribute, c.op, c.value) for c in query.constants
+    ]
+    rng.shuffle(constants)
+    projection = None
+    if query.projection is not None:
+        projection = list(query.projection)
+        rng.shuffle(projection)
+    return Query.make(
+        relations,
+        equalities=equalities,
+        constants=constants,
+        projection=projection,
+    )
+
+
+def repeated_query_workload(
+    db: Database,
+    unique: int = 8,
+    total: int = 40,
+    equalities: int = 2,
+    seed: int = 0,
+) -> List[Query]:
+    """A workload of ``total`` queries drawn from ``unique`` templates.
+
+    Models repeated traffic against one database: each template is a
+    paper-style equi-join (distinct canonical keys guaranteed), and
+    every repeat is a shuffled :func:`permuted_variant`, so a plan
+    cache keyed canonically sees ``unique`` misses and
+    ``total - unique`` hits.
+    """
+    if unique > total:
+        raise ValueError("unique templates cannot exceed the total")
+    rng = random.Random(seed)
+    base: List[Query] = []
+    seen = set()
+    guard = 0
+    while len(base) < unique:
+        query = random_query(db, equalities, seed=rng.randrange(2**31))
+        key = query.canonical_key()
+        if key not in seen:
+            seen.add(key)
+            base.append(query)
+        guard += 1
+        if guard > 1000:
+            raise RuntimeError(
+                f"could not draw {unique} distinct query templates"
+            )
+    out = list(base)
+    while len(out) < total:
+        template = rng.choice(base)
+        out.append(permuted_variant(template, seed=rng.randrange(2**31)))
+    rng.shuffle(out)
+    return out
+
+
 def combinatorial_database(
     distribution: str = "uniform", seed: int = 0
 ) -> Database:

@@ -2,6 +2,8 @@
 
 import json
 import os
+import subprocess
+import sys
 
 import pytest
 
@@ -124,6 +126,75 @@ def test_experiment_3_command(capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "FDB size" in out
+
+
+def test_batch_command(csv_dir, capsys):
+    code = main(
+        [
+            "batch",
+            "--csv",
+            csv_dir["Orders"],
+            csv_dir["Store"],
+            "--sql",
+            "SELECT * FROM Orders, Store WHERE o_item = s_item",
+            "SELECT * FROM Store, Orders WHERE s_item = o_item",
+            "--repeat",
+            "2",
+            "--verbose",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "4 queries in" in out
+    assert "1 compiled" in out
+    assert "3 batch-deduplicated" in out
+    assert "dedup" in out  # verbose per-query lines
+
+
+def test_batch_command_from_file(csv_dir, tmp_path, capsys):
+    queries = tmp_path / "workload.sql"
+    queries.write_text(
+        "# repeated traffic\n"
+        "SELECT * FROM Orders, Store WHERE o_item = s_item;\n"
+        "\n"
+        "SELECT oid FROM Orders;\n"
+    )
+    code = main(
+        [
+            "batch",
+            str(queries),
+            "--csv",
+            csv_dir["Orders"],
+            csv_dir["Store"],
+            "--engine",
+            "flat",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "2 queries in" in out
+
+
+def test_batch_without_queries_fails(csv_dir):
+    with pytest.raises(SystemExit):
+        main(["batch", "--csv", csv_dir["Orders"]])
+
+
+def test_python_dash_m_repro_smoke():
+    """``python -m repro`` must resolve to the CLI (src/repro/__main__)."""
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env = dict(os.environ)
+    src = os.path.join(root, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 0
+    assert "factorised databases" in proc.stdout
+    assert "batch" in proc.stdout
 
 
 def test_missing_csv_fails():

@@ -27,6 +27,7 @@ import repro.relational.engine
 import repro.relational.relation
 import repro.relational.schema
 import repro.relational.sqlite_engine
+import repro.service.session
 
 MODULES = [
     repro,
@@ -48,6 +49,7 @@ MODULES = [
     repro.relational.relation,
     repro.relational.schema,
     repro.relational.sqlite_engine,
+    repro.service.session,
 ]
 
 

@@ -1,0 +1,217 @@
+"""Plan-cache semantics of the serving layer (:mod:`repro.service`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.parser import parse_query
+from repro.query.query import Query
+from repro.relational.database import Database
+from repro.service import QuerySession
+from repro.workloads import permuted_variant, repeated_query_workload
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    database.add_rows(
+        "R", ("a", "b"), [(1, 1), (1, 2), (2, 2), (3, 1)]
+    )
+    database.add_rows("S", ("c", "d"), [(1, 7), (2, 8), (2, 9)])
+    database.add_rows("U", ("e",), [(7,), (8,)])
+    return database
+
+
+@pytest.fixture
+def session(db) -> QuerySession:
+    return QuerySession(db)
+
+
+JOIN = "SELECT * FROM R, S WHERE b = c"
+REORDERED = "SELECT * FROM S, R WHERE c = b"
+
+
+# -- plan-cache hits and misses -------------------------------------------
+
+
+def test_first_evaluation_is_a_miss(session):
+    result = session.run(parse_query(JOIN))
+    assert result.engine == "fdb"
+    assert not result.cached
+    assert session.stats.plan_misses == 1
+    assert session.stats.plan_hits == 0
+
+
+def test_reordered_from_and_where_hits(session):
+    first = session.run(parse_query(JOIN))
+    second = session.run(parse_query(REORDERED))
+    assert second.cached
+    assert session.stats.plan_hits == 1
+    assert second.rows() == first.rows()
+
+
+def test_permuted_variants_always_hit(session, db):
+    query = Query.make(
+        ["R", "S", "U"],
+        equalities=[("b", "c"), ("d", "e")],
+        constants=[("a", "<=", 2)],
+        projection=["a", "d", "e"],
+    )
+    base = session.run(query)
+    for seed in range(5):
+        variant = permuted_variant(query, seed=seed)
+        assert variant.canonical_key() == query.canonical_key()
+        result = session.run(variant)
+        assert result.cached
+        assert result.rows() == base.rows()
+    assert session.stats.plan_misses == 1
+    assert session.stats.plan_hits == 5
+
+
+def test_different_query_misses(session):
+    session.run(parse_query(JOIN))
+    other = session.run(parse_query("SELECT * FROM R, S WHERE b = d"))
+    assert not other.cached
+    assert session.stats.plan_misses == 2
+
+
+# -- invalidation on database mutation ------------------------------------
+
+
+def test_add_rows_invalidates_plans(session, db):
+    session.run(parse_query(JOIN))
+    db.add_rows("V", ("f",), [(1,)])
+    result = session.run(parse_query(JOIN))
+    assert not result.cached
+    assert session.stats.invalidations == 1
+    assert session.stats.plan_misses == 2
+
+
+def test_extend_rows_invalidates_stats_and_plans(session, db):
+    session.statistics()
+    session.run(parse_query(JOIN))
+    before = session.stats.stats_builds
+    assert session.statistics() is session.statistics()
+    assert session.stats.stats_builds == before  # reused, not rebuilt
+
+    db.extend_rows("S", [(1, 99)])
+    result = session.run(parse_query(JOIN))
+    assert not result.cached  # cache dropped with the old statistics
+    assert session.stats.invalidations == 1
+    assert session.statistics().cardinalities["S"] == 4
+    assert session.stats.stats_builds == before + 1
+    # The new tuple (c=1 joins b=1) is visible in the fresh result.
+    assert (1, 1, 1, 99) in result.rows()
+
+
+def test_version_counter_moves_once_per_mutation(db):
+    start = db.version
+    db.extend_rows("R", [(5, 5)])
+    db.add_rows("W", ("g",), [(1,)])
+    assert db.version == start + 2
+
+
+# -- batch execution -------------------------------------------------------
+
+
+def test_batch_dedup_counts_in_stats(session):
+    queries = [
+        parse_query(JOIN),
+        parse_query(REORDERED),
+        parse_query("SELECT a FROM R"),
+        parse_query(JOIN),
+    ]
+    results = session.run_batch(queries)
+    assert [r.deduped for r in results] == [False, True, False, True]
+    assert session.stats.batch_queries == 4
+    assert session.stats.batch_deduped == 2
+    assert session.stats.plan_misses == 2  # one per canonical query
+    assert results[1].rows() == results[0].rows()
+
+
+def test_batch_results_keep_input_order(session):
+    workload = repeated_query_workload(
+        session.database, unique=2, total=6, equalities=1, seed=3
+    )
+    results = session.run_batch(workload)
+    assert len(results) == 6
+    for query, result in zip(workload, results):
+        assert result.query is query
+    assert (
+        session.stats.batch_deduped
+        == 6 - session.stats.plan_misses
+    )
+
+
+# -- statistics reuse and fallback ----------------------------------------
+
+
+def test_statistics_built_once_per_version(session):
+    assert session.stats.stats_builds == 0  # lazy until needed
+    first = session.statistics()
+    again = session.statistics()
+    assert first is again
+    assert session.stats.stats_builds == 1
+
+
+def test_estimates_cost_model_shares_session_statistics(db):
+    session = QuerySession(db, cost_model="estimates")
+    assert session.stats.stats_builds == 1
+    assert session._fdb._stats is session.statistics()
+    assert session.stats.stats_builds == 1
+
+
+def test_fallback_budget_routes_to_flat(db):
+    session = QuerySession(db, fallback_budget=0.0)
+    result = session.run(parse_query(JOIN))
+    assert result.engine == "flat"
+    assert session.stats.fallbacks == 1
+    # A generous budget keeps the factorised path.
+    roomy = QuerySession(db, fallback_budget=1e12)
+    assert roomy.run(parse_query(JOIN)).engine == "fdb"
+    assert roomy.stats.fallbacks == 0
+
+
+def test_fallback_estimate_cached_on_plan(db):
+    session = QuerySession(db, fallback_budget=0.0)
+    session.run(parse_query(JOIN))
+    session.run(parse_query(REORDERED))
+    assert session.stats.stats_builds == 1  # estimate computed once
+    assert session.stats.plan_hits == 1  # fallback still uses the cache
+
+
+# -- facade odds and ends --------------------------------------------------
+
+
+def test_unknown_engine_rejected(session):
+    with pytest.raises(ValueError):
+        session.run(parse_query(JOIN), engine="postgres")
+
+
+def test_cached_plan_hit_counter(session):
+    query = parse_query(JOIN)
+    session.run(query)
+    session.run(query)
+    session.run(query)
+    (plan,) = session._plans.values()
+    assert plan.hits == 2
+    assert session.cached_plan_count == 1
+
+
+def test_run_on_caches_fplans(session):
+    fr = session.run(parse_query("SELECT * FROM R, S")).factorised
+    first = session.run_on(fr, Query.make([], equalities=[("b", "c")]))
+    second = session.run_on(fr, Query.make([], equalities=[("c", "b")]))
+    assert not first.cached
+    assert second.cached
+    assert session.stats.fplan_hits == 1
+    assert first.rows() == second.rows()
+    assert first.plan is second.plan
+
+
+def test_session_context_manager_closes_sqlite(db):
+    with QuerySession(db) as session:
+        result = session.run(parse_query(JOIN), engine="sqlite")
+        assert result.engine == "sqlite"
+        assert session._sqlite is not None
+    assert session._sqlite is None
