@@ -18,13 +18,18 @@ import time
 
 import pytest
 
-from benchmarks.conftest import emit, full_scale
+from benchmarks.conftest import emit, full_scale, smoke_mode
 from repro.engine import FDB
 from repro.service import QuerySession
 from repro.workloads import random_database, repeated_query_workload
 
 
 def _params():
+    if smoke_mode():
+        return dict(
+            relations=3, attributes=6, tuples=6, equalities=2,
+            unique=2, total=6,
+        )
     if full_scale():
         return dict(
             relations=8, attributes=24, tuples=10, equalities=6,
@@ -119,9 +124,11 @@ def test_plan_cache_warm_speedup(benchmark):
     assert batch_counts == cold_counts
     # The optimiser ran once per template, never on a hit.
     assert stats.plan_hits == len(workload) - stats.plan_misses
-    # Acceptance: >= 2x wall-clock for the warm cache.
-    assert cold_time >= 2.0 * warm_time, (
-        f"warm cache speedup below 2x: cold {cold_time:.3f}s "
-        f"vs warm {warm_time:.3f}s"
-    )
-    assert cold_time >= 2.0 * batch_time
+    # Acceptance: >= 2x wall-clock for the warm cache (not checked in
+    # smoke mode, where the workload is too small to time).
+    if not smoke_mode():
+        assert cold_time >= 2.0 * warm_time, (
+            f"warm cache speedup below 2x: cold {cold_time:.3f}s "
+            f"vs warm {warm_time:.3f}s"
+        )
+        assert cold_time >= 2.0 * batch_time

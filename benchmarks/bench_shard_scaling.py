@@ -1,0 +1,158 @@
+"""Shard/worker scaling: batch throughput across the execution layer.
+
+The ROADMAP's production north-star needs the batch path to scale with
+hardware, not just with cache hits.  This benchmark runs one
+deduplicated workload through the three-layer stack under increasing
+parallelism:
+
+- ``serial``      flat database, :class:`~repro.exec.SerialExecutor`
+                  (the PR-1 semantics: every unique query pays the
+                  optimiser and evaluates in-process);
+- ``workers=N``   flat database, :class:`~repro.exec.ParallelExecutor`
+                  (cache-missed compilations and evaluations fan out
+                  over N pool workers);
+- ``shards=NxN``  :class:`~repro.storage.ShardedDatabase` with N
+                  shards and N workers (per-(query, shard) tasks whose
+                  factorised results are unioned before projection).
+
+Correctness is asserted unconditionally: every configuration must
+return the same per-query tuple counts.  The throughput acceptance --
+the best parallel configuration beats serial -- is checked whenever
+the workload is timed (default and full scale; smoke mode only checks
+agreement) and the pool is a real process pool (a thread fallback is
+GIL-bound and only proves correctness).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import emit, full_scale, smoke_mode
+from repro.exec import ParallelExecutor, SerialExecutor
+from repro.service import QuerySession
+from repro.storage import ShardedDatabase
+from repro.workloads import random_database, repeated_query_workload
+
+
+def _params():
+    if smoke_mode():
+        return dict(
+            relations=3, attributes=6, tuples=8, equalities=2,
+            unique=3, total=6, workers=2, shards=2,
+        )
+    if full_scale():
+        return dict(
+            relations=7, attributes=21, tuples=12, equalities=6,
+            unique=24, total=48, workers=4, shards=4,
+        )
+    return dict(
+        relations=6, attributes=18, tuples=10, equalities=5,
+        unique=16, total=24, workers=4, shards=4,
+    )
+
+
+def _setup():
+    p = _params()
+    db = random_database(
+        relations=p["relations"],
+        attributes=p["attributes"],
+        tuples=p["tuples"],
+        domain=20,
+        seed=13,
+    )
+    workload = repeated_query_workload(
+        db,
+        unique=p["unique"],
+        total=p["total"],
+        equalities=p["equalities"],
+        seed=13,
+    )
+    return p, db, workload
+
+
+def _run(db, workload, executor):
+    """One cold session end-to-end; returns (counts, seconds, session)."""
+    start = time.perf_counter()
+    with QuerySession(db, executor=executor) as session:
+        counts = [r.count() for r in session.run_batch(workload)]
+        elapsed = time.perf_counter() - start
+        stats = session.stats
+    return counts, elapsed, stats
+
+
+@pytest.mark.benchmark(group="shard-scaling")
+def test_shard_scaling_throughput():
+    p, db, workload = _setup()
+
+    configs = [
+        ("serial", db, SerialExecutor()),
+        (
+            f"workers={p['workers']}",
+            db,
+            ParallelExecutor(max_workers=p["workers"]),
+        ),
+        (
+            f"shards={p['shards']}x{p['workers']}",
+            ShardedDatabase.from_database(db, shards=p["shards"]),
+            ParallelExecutor(max_workers=p["workers"]),
+        ),
+    ]
+
+    rows = []
+    counts_by_label = {}
+    times = {}
+    pool_kinds = {}
+    for label, database, executor in configs:
+        counts, elapsed, stats = _run(database, workload, executor)
+        counts_by_label[label] = counts
+        times[label] = elapsed
+        pool_kinds[label] = getattr(executor, "pool_kind", None)
+        pool_note = (
+            f", {pool_kinds[label]} pool" if pool_kinds[label] else ""
+        )
+        rows.append(
+            f"{label:14s} {elapsed:8.3f} s  "
+            f"{len(workload) / max(elapsed, 1e-9):7.1f} q/s  "
+            f"({stats.plan_misses} compiled, "
+            f"{stats.batch_deduped} deduped{pool_note})"
+        )
+
+    serial_label = configs[0][0]
+    parallel_labels = [label for label, _, _ in configs[1:]]
+    best_parallel = min(times[label] for label in parallel_labels)
+    rows.append(
+        f"best parallel vs serial: "
+        f"{times[serial_label] / max(best_parallel, 1e-9):.2f}x"
+    )
+    emit(
+        "Shard/worker scaling: batch throughput per configuration",
+        "\n".join(
+            [
+                f"workload: {len(workload)} queries "
+                f"({p['unique']} unique templates), "
+                f"database: {db.total_size} tuples "
+                f"over {len(db)} relations",
+                *rows,
+            ]
+        ),
+    )
+
+    # Correctness first: every configuration returns the same answers.
+    for label, counts in counts_by_label.items():
+        assert counts == counts_by_label[serial_label], (
+            f"{label} disagrees with {serial_label}"
+        )
+
+    # Acceptance: parallelism must pay for itself on a timed workload
+    # (smoke mode is too small to time; a thread-fallback pool is
+    # GIL-bound and only proves correctness).
+    real_pools = all(
+        pool_kinds[label] == "process" for label in parallel_labels
+    )
+    if not smoke_mode() and real_pools:
+        assert best_parallel <= times[serial_label], (
+            f"parallel execution slower than serial: "
+            f"best {best_parallel:.3f}s vs {times[serial_label]:.3f}s"
+        )

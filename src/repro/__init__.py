@@ -20,6 +20,8 @@ Layers (bottom-up): :mod:`repro.relational` (the flat RDB substrate),
 f-representations), :mod:`repro.ops` (f-plan operators),
 :mod:`repro.costs` (edge covers and ``s(T)``), :mod:`repro.optimiser`
 (f-tree and f-plan optimisers), :mod:`repro.engine` (the FDB facade),
+:mod:`repro.storage` (sharded physical organisation),
+:mod:`repro.exec` (serial and pool-parallel executors),
 :mod:`repro.service` (plan-cached query sessions for repeated
 traffic), :mod:`repro.workloads` (Section 5 data generators).
 """
@@ -27,6 +29,7 @@ traffic), :mod:`repro.workloads` (Section 5 data generators).
 from repro.core.factorised import FactorisedRelation
 from repro.core.ftree import FNode, FTree
 from repro.engine import FDB
+from repro.exec import Executor, ParallelExecutor, SerialExecutor
 from repro.query.parser import parse_query
 from repro.query.query import Query
 from repro.relational.budget import Budget, BudgetExceeded
@@ -35,24 +38,29 @@ from repro.relational.engine import RelationalEngine
 from repro.relational.relation import Relation
 from repro.relational.sqlite_engine import SQLiteEngine
 from repro.service.session import QuerySession, SessionResult, SessionStats
+from repro.storage import ShardedDatabase
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Budget",
     "BudgetExceeded",
     "Database",
+    "Executor",
     "FactorisedRelation",
     "FDB",
     "FNode",
     "FTree",
+    "ParallelExecutor",
     "parse_query",
     "Query",
     "QuerySession",
     "Relation",
     "RelationalEngine",
+    "SerialExecutor",
     "SessionResult",
     "SessionStats",
+    "ShardedDatabase",
     "SQLiteEngine",
     "__version__",
 ]

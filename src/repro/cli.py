@@ -39,11 +39,13 @@ from repro.experiments import (
     run_experiment3,
     run_experiment4,
 )
+from repro.exec import ParallelExecutor, SerialExecutor
 from repro.query.parser import parse_query
 from repro.relational.budget import Budget, BudgetExceeded
 from repro.relational.csvio import load_database
 from repro.relational.database import Database
 from repro.service.session import QuerySession
+from repro.storage import PARTITION_STRATEGIES, ShardedDatabase
 
 
 def _load(paths: Sequence[str]) -> Database:
@@ -105,7 +107,20 @@ def _read_batch_queries(args: argparse.Namespace) -> List[str]:
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    if args.cache_size is not None and args.cache_size < 1:
+        raise SystemExit(
+            f"--cache-size must be >= 1 (omit it for an unbounded "
+            f"cache), got {args.cache_size}"
+        )
     db = _load(args.csv)
+    if args.shards > 1:
+        db = ShardedDatabase.from_database(
+            db, shards=args.shards, strategy=args.strategy
+        )
     queries = [parse_query(stmt) for stmt in _read_batch_queries(args)]
     queries = queries * args.repeat
     budget = (
@@ -113,17 +128,26 @@ def cmd_batch(args: argparse.Namespace) -> int:
         if args.timeout is not None
         else None
     )
+    executor = (
+        ParallelExecutor(max_workers=args.workers)
+        if args.workers > 1
+        else SerialExecutor()
+    )
     session = QuerySession(
         db,
         plan_search=args.planner,
         fallback_budget=args.fallback_budget,
         budget=budget,
+        executor=executor,
+        cache_size=args.cache_size,
     )
     start = time.perf_counter()
     try:
         results = session.run_batch(queries, engine=args.engine)
     except BudgetExceeded as exc:
         raise SystemExit(f"batch aborted: {exc}")
+    finally:
+        session.close()
     elapsed = time.perf_counter() - start
     if args.verbose:
         for i, result in enumerate(results):
@@ -138,14 +162,20 @@ def cmd_batch(args: argparse.Namespace) -> int:
                 f"{result.elapsed:.4f}s  {result.query}"
             )
     stats = session.stats
+    layout = []
+    if args.shards > 1:
+        layout.append(f"{args.shards} shards ({args.strategy})")
+    layout.append(session.executor.describe())
     print(
         f"{len(results)} queries in {elapsed:.4f}s "
-        f"({len(results) / max(elapsed, 1e-9):.1f} q/s)"
+        f"({len(results) / max(elapsed, 1e-9):.1f} q/s) "
+        f"[{', '.join(layout)}]"
     )
     reused = stats.plan_hits + stats.batch_deduped
     print(
         f"plans: {stats.plan_misses} compiled, {stats.plan_hits} cache "
-        f"hits, {stats.batch_deduped} batch-deduplicated "
+        f"hits, {stats.plan_evictions} evicted, "
+        f"{stats.batch_deduped} batch-deduplicated "
         f"(reuse rate {reused / max(len(results), 1):.0%})"
     )
     print(
@@ -301,6 +331,30 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="repeat the whole workload N times (warms the cache)",
+    )
+    b.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the database over N shards (storage layer)",
+    )
+    b.add_argument(
+        "--strategy",
+        choices=list(PARTITION_STRATEGIES),
+        default="hash",
+        help="row-placement strategy for --shards > 1",
+    )
+    b.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="evaluate with a parallel executor over N pool workers",
+    )
+    b.add_argument(
+        "--cache-size",
+        type=int,
+        default=None,
+        help="LRU bound on the plan caches (default: unbounded)",
     )
     b.add_argument(
         "-v",

@@ -31,6 +31,11 @@ from typing import Iterable, Iterator, List, Optional, Tuple
 Value = object
 
 
+def _entry_value(entry: Tuple[Value, "ProductRep"]) -> Value:
+    """Sort key for bisecting ``UnionRep.entries`` by value."""
+    return entry[0]
+
+
 class FRepError(ValueError):
     """Raised when a structured representation violates its invariants."""
 
@@ -88,9 +93,12 @@ class UnionRep:
         return [value for value, _ in self.entries]
 
     def find(self, value: Value) -> Optional[ProductRep]:
-        """Binary search for ``value``; ``None`` if absent."""
-        values = [v for v, _ in self.entries]
-        idx = bisect_left(values, value)
+        """Binary search for ``value``; ``None`` if absent.
+
+        Bisects ``entries`` in place (O(log n) comparisons) instead of
+        materialising the full value list per lookup.
+        """
+        idx = bisect_left(self.entries, value, key=_entry_value)
         if idx < len(self.entries) and self.entries[idx][0] == value:
             return self.entries[idx][1]
         return None

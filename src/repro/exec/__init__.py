@@ -1,0 +1,21 @@
+"""The execution layer: strategies for running compiled queries.
+
+Sits between the storage layer (:mod:`repro.storage`) and the serving
+layer (:mod:`repro.service`): sessions compile and cache plans, then
+hand the actual evaluation to an :class:`Executor` -- serial
+in-process, or parallel over a worker pool with per-shard fan-out.
+"""
+
+from repro.exec.executor import (
+    POOL_KINDS,
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+)
+
+__all__ = [
+    "POOL_KINDS",
+    "Executor",
+    "ParallelExecutor",
+    "SerialExecutor",
+]

@@ -1,0 +1,171 @@
+"""Pool-worker entry points for the parallel executor.
+
+A :class:`~repro.exec.executor.ParallelExecutor` ships the database to
+each worker process **once** (via the pool initializer) and afterwards
+sends only small task tuples -- (query, f-tree, shard index) -- so the
+per-task pickling cost stays independent of the data size.  The
+``*_task`` functions below read that per-process state; the
+``*_direct`` functions take the database explicitly and back both the
+thread-pool fallback (same process, no globals needed) and unit tests.
+
+Workers are stateless beyond the database snapshot: a mutation bumps
+``Database.version`` in the coordinator, which discards the pool and
+spawns a fresh one against the new snapshot (see
+``ParallelExecutor._ensure_pool``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Tuple
+
+from repro import ops
+from repro.core.factorised import FactorisedRelation
+from repro.core.ftree import FTree
+from repro.engine import FDB
+from repro.query.query import Query
+from repro.storage.sharded import ShardedDatabase
+
+#: Per-process state, populated by :func:`init_worker`.
+_STATE: Dict[str, object] = {}
+
+
+def init_worker(
+    database,
+    plan_search: str,
+    cost_model: str,
+    check_invariants: bool,
+) -> None:
+    """Pool initializer: build one engine per worker process."""
+    _STATE["database"] = database
+    _STATE["check_invariants"] = check_invariants
+    _STATE["engine"] = FDB(
+        database,
+        plan_search=plan_search,
+        cost_model=cost_model,
+        check_invariants=check_invariants,
+    )
+
+
+def ping() -> bool:
+    """Pool liveness probe (process pools may be unavailable in
+    restricted sandboxes; the executor probes before committing)."""
+    return True
+
+
+def timed_call(fn, *args) -> Tuple[float, object]:
+    """Run ``fn`` and return (worker-side seconds, result).
+
+    Per-query timings under a pool cannot be read off the coordinator
+    clock (every future's completion time includes unrelated queueing),
+    so evaluation tasks time themselves.
+    """
+    start = time.perf_counter()
+    result = fn(*args)
+    return time.perf_counter() - start, result
+
+
+def compile_task(query: Query) -> FTree:
+    return _STATE["engine"].optimal_tree(query)
+
+
+def execute_task(
+    query: Query, tree: FTree
+) -> Tuple[float, FactorisedRelation]:
+    return timed_call(
+        evaluate_full,
+        _STATE["database"],
+        bool(_STATE["check_invariants"]),
+        query,
+        tree,
+    )
+
+
+def shard_task(
+    query: Query, tree: FTree, index: int, fanout: str
+) -> Tuple[float, FactorisedRelation]:
+    return timed_call(
+        evaluate_shard,
+        _STATE["database"],
+        bool(_STATE["check_invariants"]),
+        query,
+        tree,
+        index,
+        fanout,
+    )
+
+
+# -- direct variants (thread fallback, tests) ------------------------------
+
+
+def compile_direct(
+    database,
+    plan_search: str,
+    cost_model: str,
+    check_invariants: bool,
+    query: Query,
+    statistics=None,
+) -> FTree:
+    engine = FDB(
+        database,
+        plan_search=plan_search,
+        cost_model=cost_model,
+        check_invariants=check_invariants,
+        statistics=statistics if cost_model == "estimates" else None,
+    )
+    return engine.optimal_tree(query)
+
+
+def evaluate_full(
+    database, check_invariants: bool, query: Query, tree: FTree
+) -> FactorisedRelation:
+    """Evaluate one query over the full database: factorised join over
+    the precompiled tree, constants inside, projection applied."""
+    engine = FDB(database, check_invariants=check_invariants)
+    fr = engine.factorise_query(query, tree=tree)
+    if query.projection is not None:
+        fr = ops.project(fr, query.projection)
+        if check_invariants:
+            fr.validate()
+    return fr
+
+
+def evaluate_shard(
+    database: ShardedDatabase,
+    check_invariants: bool,
+    query: Query,
+    tree: FTree,
+    index: int,
+    fanout: str,
+) -> FactorisedRelation:
+    """Evaluate one query over one shard view, **without** projection.
+
+    Projection must wait until the per-shard results are unioned (see
+    :mod:`repro.ops.union`); the coordinator applies it once.
+    """
+    view = database.shard_view(index, fanout)
+    engine = FDB(view, check_invariants=check_invariants)
+    return engine.factorise_query(query, tree=tree)
+
+
+def combine_shards(
+    parts, query: Query, check_invariants: bool
+) -> FactorisedRelation:
+    """Union per-shard factorised results and apply the projection.
+
+    ``parts`` must hold one result per shard (an empty shard yields a
+    ``data=None`` relation, never a missing entry) -- an empty list
+    here would silently masquerade as an empty *result*, so it is an
+    error instead.
+    """
+    parts = list(parts)
+    if not parts:
+        raise ValueError("combine_shards needs at least one shard result")
+    fr = ops.union_all(parts)
+    if check_invariants:
+        fr.validate()
+    if query.projection is not None:
+        fr = ops.project(fr, query.projection)
+        if check_invariants:
+            fr.validate()
+    return fr

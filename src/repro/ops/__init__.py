@@ -18,7 +18,13 @@ absorb ``alpha_{A,B}``     :mod:`repro.ops.absorb`             Fig. 3(d)
 select ``sigma_{A th c}``  :mod:`repro.ops.select`             Sec. 3.3
 project ``pi_A``           :mod:`repro.ops.project`            Sec. 3.4
 product ``x``              :mod:`repro.ops.product`            Sec. 3.2
+union ``u``                :mod:`repro.ops.union`              (sharding)
 ========================  ==================================  ===========
+
+The union operator is not one of the paper's f-plan operators: it
+recombines per-shard results for the sharded execution path of
+:mod:`repro.exec` (see its module docstring for the exactness
+precondition).
 """
 
 from repro.ops.base import OperatorError
@@ -35,6 +41,7 @@ from repro.ops.absorb import absorb, absorb_tree
 from repro.ops.select import select_constant, select_constant_tree
 from repro.ops.project import project, project_tree
 from repro.ops.product import product, product_tree
+from repro.ops.union import union, union_all
 
 __all__ = [
     "absorb",
@@ -56,4 +63,6 @@ __all__ = [
     "swap",
     "swap_reference",
     "swap_tree",
+    "union",
+    "union_all",
 ]

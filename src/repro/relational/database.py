@@ -8,7 +8,17 @@ of Section 4.1.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.relational.relation import Relation
 from repro.relational.schema import RelationSchema, SchemaError
@@ -67,6 +77,22 @@ class Database:
         """Build and register a relation from raw rows."""
         return self.add(Relation.from_rows(name, attributes, rows))
 
+    def _store(self, relation: Relation) -> Relation:
+        """Replace the stored relation of the same name, silently.
+
+        Internal plumbing for the mutation methods (and the sharding
+        layer's partition rebuilds): no version bump, no uniqueness
+        re-check beyond requiring an unchanged schema.
+        """
+        current = self[relation.name]
+        if current.attributes != relation.attributes:
+            raise SchemaError(
+                f"cannot change attributes of {relation.name!r} from "
+                f"{current.attributes} to {relation.attributes}"
+            )
+        self._relations[relation.name] = relation
+        return relation
+
     def extend_rows(
         self, name: str, rows: Iterable[Sequence[object]]
     ) -> Relation:
@@ -77,12 +103,103 @@ class Database:
         and statistics over this database are invalidated.
         """
         old = self[name]
-        merged = Relation.from_rows(
-            name, old.attributes, list(old.rows) + [tuple(r) for r in rows]
+        merged = self._store(
+            Relation.from_rows(
+                name,
+                old.attributes,
+                list(old.rows) + [tuple(r) for r in rows],
+            )
         )
-        self._relations[name] = merged
         self._version += 1
         return merged
+
+    def delete_rows(
+        self,
+        name: str,
+        rows: Optional[Iterable[Sequence[object]]] = None,
+        where: Optional[Callable[[Tuple[object, ...]], bool]] = None,
+    ) -> int:
+        """Delete rows from ``name``; returns how many were removed.
+
+        A row is removed when it appears in ``rows`` (compared as
+        tuples) *or* satisfies the ``where`` predicate (called with the
+        full row tuple in :attr:`Relation.attributes` order).  At least
+        one criterion is required -- delete-everything must be spelled
+        ``where=lambda row: True``, not implied by omission.  Bumps
+        :attr:`version` only when at least one row actually went away,
+        so no-op deletes do not invalidate caches.
+
+        >>> db = Database()
+        >>> _ = db.add_rows("R", ("a", "b"), [(1, 1), (1, 2), (2, 2)])
+        >>> db.delete_rows("R", where=lambda row: row[0] == 1)
+        2
+        >>> len(db["R"])
+        1
+        """
+        if rows is None and where is None:
+            raise ValueError(
+                "delete_rows needs rows and/or where; to delete every "
+                "row pass where=lambda row: True"
+            )
+        old = self[name]
+        doomed = {tuple(r) for r in rows} if rows is not None else set()
+        kept = [
+            row
+            for row in old.rows
+            if row not in doomed and not (where is not None and where(row))
+        ]
+        removed = len(old) - len(kept)
+        if removed:
+            self._store(Relation(old.schema, kept))
+            self._version += 1
+        return removed
+
+    def update_rows(
+        self,
+        name: str,
+        where: Callable[[Tuple[object, ...]], bool],
+        updates: Mapping[str, object],
+    ) -> int:
+        """Update rows of ``name`` matching ``where``; returns the
+        number of rows rewritten.
+
+        ``updates`` maps attribute name to either a new constant or a
+        callable receiving the full old row tuple.  Set semantics
+        apply: an update that makes two rows collide stores one copy.
+        Bumps :attr:`version` only when some row actually changed.
+
+        >>> db = Database()
+        >>> _ = db.add_rows("R", ("a", "b"), [(1, 1), (2, 2)])
+        >>> db.update_rows("R", lambda row: row[0] == 2, {"b": 9})
+        1
+        >>> db["R"].rows
+        [(1, 1), (2, 9)]
+        """
+        old = self[name]
+        positions = {
+            attr: old.schema.index_of(attr) for attr in updates
+        }
+        changed = 0
+        new_rows: List[Tuple[object, ...]] = []
+        for row in old.rows:
+            if where(row):
+                rewritten = list(row)
+                for attr, value in updates.items():
+                    rewritten[positions[attr]] = (
+                        value(row) if callable(value) else value
+                    )
+                new = tuple(rewritten)
+                if new != row:
+                    changed += 1
+                new_rows.append(new)
+            else:
+                new_rows.append(row)
+        if changed:
+            self._store(
+                Relation.from_rows(name, old.attributes, new_rows)
+            )
+            self._version += 1
+        return changed
 
     def add_renamed(
         self, source: str, new_name: str, mapping: Mapping[str, str]

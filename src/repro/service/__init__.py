@@ -1,10 +1,12 @@
 """The serving layer: cached, batched query sessions.
 
 Separates per-workload cost (optimisation, statistics) from per-query
-cost (plan replay) for repeated traffic -- see
+cost (plan replay) for repeated traffic, and delegates the actual
+evaluation to the execution layer (:mod:`repro.exec`) -- see
 :mod:`repro.service.session` for the design rationale.
 """
 
+from repro.service.cache import PlanCache
 from repro.service.session import (
     CachedPlan,
     QuerySession,
@@ -14,6 +16,7 @@ from repro.service.session import (
 
 __all__ = [
     "CachedPlan",
+    "PlanCache",
     "QuerySession",
     "SessionResult",
     "SessionStats",

@@ -1,0 +1,95 @@
+"""A bounded LRU cache for compiled plans.
+
+The PR-1 serving layer cached plans in a plain dict, which grows
+without bound under adversarial or long-tailed traffic (every distinct
+canonical query leaves a compiled f-tree behind forever).
+:class:`PlanCache` bounds that: least-recently-*used* entries are
+evicted once ``capacity`` is exceeded, and hit/miss/eviction counters
+expose the cache's behaviour to the session stats and the CLI.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class PlanCache:
+    """An LRU mapping from canonical keys to compiled plans.
+
+    ``capacity=None`` means unbounded (the PR-1 behaviour); otherwise
+    inserting beyond capacity evicts the least recently used entry.
+
+    >>> cache = PlanCache(capacity=2)
+    >>> cache.put("a", 1); cache.put("b", 2)
+    >>> cache.get("a")  # touches "a": "b" is now the LRU entry
+    1
+    >>> cache.put("c", 3)  # evicts "b"
+    'b'
+    >>> cache.get("b") is None
+    True
+    >>> (cache.hits, cache.misses, cache.evictions)
+    (1, 1, 1)
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(
+                f"cache capacity must be positive or None, got {capacity}"
+            )
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key) -> Optional[object]:
+        """The cached value (marked most recently used), or ``None``."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> Optional[object]:
+        """Insert (as most recently used); returns the evicted key, if
+        the insert pushed the cache over capacity."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if (
+            self.capacity is not None
+            and len(self._entries) > self.capacity
+        ):
+            evicted, _ = self._entries.popitem(last=False)
+            self.evictions += 1
+            return evicted
+        return None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        """Membership test; does *not* refresh recency."""
+        return key in self._entries
+
+    def __iter__(self) -> Iterator:
+        return iter(self._entries)
+
+    def values(self) -> List[object]:
+        """Cached values, least recently used first."""
+        return list(self._entries.values())
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept: they are monotone)."""
+        self._entries.clear()
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._entries),
+        }

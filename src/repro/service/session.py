@@ -1,4 +1,4 @@
-"""Query sessions: plan caching and batched execution.
+"""Query sessions: the serving layer's thin coordinator.
 
 The paper's experiments (Figure 9) show that for FDB the *optimiser*
 dominates per-query cost: finding an optimal f-tree or f-plan is
@@ -6,27 +6,32 @@ exponential in the worst case, while executing the chosen plan on
 factorised data is cheap.  A production deployment serving repeated
 traffic therefore must not pay the optimiser per arriving query.
 
-:class:`QuerySession` wraps the three engines of this reproduction --
-the factorised :class:`~repro.engine.FDB`, the flat
-:class:`~repro.relational.engine.RelationalEngine` and the
-:class:`~repro.relational.sqlite_engine.SQLiteEngine` comparator --
-behind one facade and separates per-workload from per-query cost:
+:class:`QuerySession` is the serving layer of the three-layer stack
+(storage -> execution -> serving).  It owns the *policy*:
 
 - **plan cache**: compiled plans (optimal f-trees for the flat input
   path, :class:`~repro.optimiser.fplan.FPlan` step sequences for the
   factorised input path) are cached under
-  :meth:`~repro.query.query.Query.canonical_key`, so reformulated
-  repeats (reordered ``FROM``/``WHERE``, flipped equalities) hit;
+  :meth:`~repro.query.query.Query.canonical_key` in an LRU-bounded
+  :class:`~repro.service.cache.PlanCache`, so reformulated repeats
+  (reordered ``FROM``/``WHERE``, flipped equalities) hit;
 - **statistics reuse**: one :class:`~repro.costs.cardinality.
   Statistics` catalogue per session, shared by every engine and
   rebuilt only when the :class:`~repro.relational.database.Database`
-  version counter moves;
+  version counter moves (row-level inserts, deletes and updates all
+  bump it);
 - **batch execution**: :meth:`QuerySession.run_batch` deduplicates
   canonically-equal queries and evaluates each equivalence class once;
 - **explosion fallback**: when the estimated factorised size exceeds
   ``fallback_budget``, evaluation routes to the flat engine under the
   session's (time/row) :class:`~repro.relational.budget.Budget`
   instead of materialising a pathological factorisation.
+
+The *mechanism* -- how the deduplicated queries actually run -- lives
+in the injected :class:`~repro.exec.Executor`: serial in-process by
+default, or :class:`~repro.exec.ParallelExecutor` for pool-parallel
+compilation and (on a :class:`~repro.storage.ShardedDatabase`)
+per-shard fan-out.
 """
 
 from __future__ import annotations
@@ -40,6 +45,7 @@ from repro.core.factorised import FactorisedRelation
 from repro.core.ftree import FTree
 from repro.costs.cardinality import Statistics, estimate_representation_size
 from repro.engine import FDB
+from repro.exec import Executor, SerialExecutor
 from repro.optimiser.fplan import FPlan
 from repro.query.query import Query, QueryError, equality_partition
 from repro.relational.budget import Budget
@@ -47,6 +53,7 @@ from repro.relational.database import Database
 from repro.relational.engine import RelationalEngine
 from repro.relational.relation import Relation
 from repro.relational.sqlite_engine import SQLiteEngine
+from repro.service.cache import PlanCache
 
 #: Engines a session can route a query to.  ``auto`` means "factorised
 #: unless the estimate says the factorisation explodes".
@@ -60,8 +67,10 @@ class SessionStats:
     queries: int = 0
     plan_hits: int = 0
     plan_misses: int = 0
+    plan_evictions: int = 0
     fplan_hits: int = 0
     fplan_misses: int = 0
+    fplan_evictions: int = 0
     stats_builds: int = 0
     invalidations: int = 0
     fallbacks: int = 0
@@ -156,7 +165,8 @@ class QuerySession:
     Parameters
     ----------
     database:
-        The shared flat database.  Sessions watch its
+        The shared flat (or :class:`~repro.storage.ShardedDatabase`)
+        store.  Sessions watch its
         :attr:`~repro.relational.database.Database.version` and drop
         every cache when it moves.
     plan_search / cost_model:
@@ -167,6 +177,13 @@ class QuerySession:
     budget:
         Optional :class:`~repro.relational.budget.Budget` guarding the
         flat engine (fallbacks inherit the paper's timeout protocol).
+    executor:
+        The :class:`~repro.exec.Executor` evaluating (deduplicated)
+        queries; defaults to a fresh
+        :class:`~repro.exec.SerialExecutor`.  The session owns it:
+        :meth:`close` shuts it down.
+    cache_size:
+        LRU bound applied to both plan caches (``None`` = unbounded).
 
     >>> from repro.relational.database import Database
     >>> from repro.query.parser import parse_query
@@ -190,6 +207,8 @@ class QuerySession:
         fallback_budget: Optional[float] = None,
         budget: Optional[Budget] = None,
         check_invariants: bool = False,
+        executor: Optional[Executor] = None,
+        cache_size: Optional[int] = None,
     ) -> None:
         self.database = database
         self.plan_search = plan_search
@@ -197,6 +216,8 @@ class QuerySession:
         self.fallback_budget = fallback_budget
         self.budget = budget
         self.check_invariants = check_invariants
+        self.cache_size = cache_size
+        self.executor = executor if executor is not None else SerialExecutor()
         self.stats = SessionStats()
         self._sqlite: Optional[SQLiteEngine] = None
         self._bind()
@@ -204,10 +225,19 @@ class QuerySession:
     # -- cache lifecycle ---------------------------------------------------
 
     def _bind(self) -> None:
-        """(Re)build engines and empty caches for the current version."""
+        """(Re)build engines and empty caches for the current version.
+
+        The cache *objects* survive rebinds (only their entries drop),
+        so :meth:`cache_counters` stays a lifetime view, consistent
+        with the monotone counters in :attr:`stats`.
+        """
         self._version = self.database.version
-        self._plans: Dict[Tuple, CachedPlan] = {}
-        self._fplans: Dict[Tuple, FPlan] = {}
+        if not hasattr(self, "_plans"):
+            self._plans: PlanCache = PlanCache(self.cache_size)
+            self._fplans: PlanCache = PlanCache(self.cache_size)
+        else:
+            self._plans.clear()
+            self._fplans.clear()
         self._statistics: Optional[Statistics] = None
         if self._sqlite is not None:
             self._sqlite.close()
@@ -223,6 +253,7 @@ class QuerySession:
             statistics=shared,
         )
         self._flat = RelationalEngine(self.database, budget=self.budget)
+        self.executor.invalidate()
 
     def _refresh(self) -> None:
         """Invalidate every cache if the database mutated underneath."""
@@ -242,10 +273,18 @@ class QuerySession:
     def cached_plan_count(self) -> int:
         return len(self._plans) + len(self._fplans)
 
+    def cache_counters(self) -> Dict[str, Dict[str, int]]:
+        """Hit/miss/eviction/size counters of both plan caches."""
+        return {
+            "plans": self._plans.counters(),
+            "fplans": self._fplans.counters(),
+        }
+
     def close(self) -> None:
         if self._sqlite is not None:
             self._sqlite.close()
             self._sqlite = None
+        self.executor.close()
 
     def __enter__(self) -> "QuerySession":
         return self
@@ -255,6 +294,28 @@ class QuerySession:
 
     # -- planning ----------------------------------------------------------
 
+    def lookup_plan(self, query: Query) -> Optional[CachedPlan]:
+        """The cached flat-path plan for ``query``, or ``None``.
+
+        Executor hook: a hit updates recency and the hit counters; a
+        miss only counts (callers compile and :meth:`store_plan`).
+        """
+        plan = self._plans.get(query.canonical_key())
+        if plan is None:
+            self.stats.plan_misses += 1
+            return None
+        plan.hits += 1
+        self.stats.plan_hits += 1
+        return plan
+
+    def store_plan(self, query: Query, tree: FTree) -> CachedPlan:
+        """Executor hook: cache a freshly compiled f-tree."""
+        key = query.canonical_key()
+        plan = CachedPlan(key=key, tree=tree)
+        if self._plans.put(key, plan) is not None:
+            self.stats.plan_evictions += 1
+        return plan
+
     def compile(self, query: Query) -> Tuple[CachedPlan, bool]:
         """The cached flat-path plan for ``query`` and whether it hit.
 
@@ -263,17 +324,11 @@ class QuerySession:
         query's canonical key.
         """
         self._refresh()
-        key = query.canonical_key()
-        cached = self._plans.get(key)
+        cached = self.lookup_plan(query)
         if cached is not None:
-            cached.hits += 1
-            self.stats.plan_hits += 1
             return cached, True
-        self.stats.plan_misses += 1
         query.validate_against(self.database.schema())
-        plan = CachedPlan(key=key, tree=self._fdb.optimal_tree(query))
-        self._plans[key] = plan
-        return plan, False
+        return self.store_plan(query, self._fdb.optimal_tree(query)), False
 
     def _would_explode(self, plan: CachedPlan) -> bool:
         if self.fallback_budget is None:
@@ -292,58 +347,51 @@ class QuerySession:
             raise ValueError(f"unknown engine {engine!r}; pick {ENGINES}")
         self._refresh()
         self.stats.queries += 1
-        start = time.perf_counter()
-        if engine == "flat":
-            flat = self._flat.evaluate(query)
-            return SessionResult(
-                query=query,
-                engine="flat",
-                cached=False,
-                elapsed=time.perf_counter() - start,
-                flat=flat,
-            )
-        if engine == "sqlite":
-            query.validate_against(self.database.schema())
-            rows = self._sqlite_engine().evaluate(query)
-            if query.projection is not None:
-                columns = query.projection
+        return self.executor.execute(self, [query], engine)[0]
+
+    def run_batch(
+        self, queries: Sequence[Query], engine: str = "auto"
+    ) -> List[SessionResult]:
+        """Evaluate a batch, one evaluation per canonical query.
+
+        Results come back in input order; canonically-equal repeats
+        share the first occurrence's result (flagged ``deduped``, with
+        zero elapsed time).  Evaluation goes through the session's
+        executor.  Snapshot semantics depend on it: a
+        :class:`~repro.exec.ParallelExecutor` pins the snapshot its
+        pool workers hold for every pooled (factorised-path) query,
+        while the serial path -- and the fallback/flat/sqlite routes
+        of either executor -- read the live database, so mutating it
+        mid-batch from another thread yields mixed-version answers.
+        """
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; pick {ENGINES}")
+        self._refresh()
+        slots: List[Tuple[Tuple, bool]] = []
+        unique: List[Query] = []
+        position: Dict[Tuple, int] = {}
+        for query in queries:
+            self.stats.batch_queries += 1
+            key = query.canonical_key()
+            if key in position:
+                self.stats.batch_deduped += 1
+                slots.append((key, True))
             else:
-                columns = tuple(
-                    attr
-                    for name in query.relations
-                    for attr in self.database[name].attributes
+                position[key] = len(unique)
+                unique.append(query)
+                slots.append((key, False))
+        self.stats.queries += len(unique)
+        evaluated = self.executor.execute(self, unique, engine)
+        out: List[SessionResult] = []
+        for query, (key, deduped) in zip(queries, slots):
+            result = evaluated[position[key]]
+            if deduped:
+                out.append(
+                    replace(result, query=query, deduped=True, elapsed=0.0)
                 )
-            return SessionResult(
-                query=query,
-                engine="sqlite",
-                cached=False,
-                elapsed=time.perf_counter() - start,
-                raw=rows,
-                raw_attributes=columns,
-            )
-        plan, hit = self.compile(query)
-        if engine == "auto" and self._would_explode(plan):
-            self.stats.fallbacks += 1
-            flat = self._flat.evaluate(query)
-            return SessionResult(
-                query=query,
-                engine="flat",
-                cached=hit,
-                elapsed=time.perf_counter() - start,
-                flat=flat,
-            )
-        fr = self._fdb.factorise_query(query, tree=plan.tree)
-        if query.projection is not None:
-            fr = ops.project(fr, query.projection)
-            if self.check_invariants:
-                fr.validate()
-        return SessionResult(
-            query=query,
-            engine="fdb",
-            cached=hit,
-            elapsed=time.perf_counter() - start,
-            factorised=fr,
-        )
+            else:
+                out.append(result)
+        return out
 
     def run_on(
         self, fr: FactorisedRelation, query: Query
@@ -378,7 +426,8 @@ class QuerySession:
             hit = False
             pairs = [(eq.left, eq.right) for eq in query.equalities]
             plan = self._fdb.plan_for(current.tree, pairs)
-            self._fplans[key] = plan
+            if self._fplans.put(key, plan) is not None:
+                self.stats.fplan_evictions += 1
         current = plan.execute(current)
         if self.check_invariants:
             current.validate()
@@ -395,31 +444,89 @@ class QuerySession:
             plan=plan,
         )
 
-    def run_batch(
-        self, queries: Sequence[Query], engine: str = "auto"
-    ) -> List[SessionResult]:
-        """Evaluate a batch, one evaluation per canonical query.
+    # -- executor hooks ----------------------------------------------------
+    #
+    # Executors evaluate queries through these; they encapsulate result
+    # construction and engine access so the execution layer never
+    # imports the serving layer.
 
-        Results come back in input order; canonically-equal repeats
-        share the first occurrence's result (flagged ``deduped``, with
-        zero elapsed time).
-        """
-        first: Dict[Tuple, SessionResult] = {}
-        out: List[SessionResult] = []
-        for query in queries:
-            self.stats.batch_queries += 1
-            key = query.canonical_key()
-            prior = first.get(key)
-            if prior is None:
-                result = self.run(query, engine=engine)
-                first[key] = result
-                out.append(result)
-            else:
-                self.stats.batch_deduped += 1
-                out.append(
-                    replace(prior, query=query, deduped=True, elapsed=0.0)
-                )
-        return out
+    def _execute_serial(self, query: Query, engine: str) -> SessionResult:
+        """Evaluate one query in-process (the serial reference path)."""
+        start = time.perf_counter()
+        if engine == "flat":
+            return self._flat_result(query, start, cached=False)
+        if engine == "sqlite":
+            return self._sqlite_result(query, start)
+        plan, hit = self.compile(query)
+        if engine == "auto" and self._would_explode(plan):
+            return self._fallback_result(query, start, cached=hit)
+        fr = self._fdb.factorise_query(query, tree=plan.tree)
+        if query.projection is not None:
+            fr = ops.project(fr, query.projection)
+            if self.check_invariants:
+                fr.validate()
+        return SessionResult(
+            query=query,
+            engine="fdb",
+            cached=hit,
+            elapsed=time.perf_counter() - start,
+            factorised=fr,
+        )
+
+    def _flat_result(
+        self, query: Query, start: float, cached: bool
+    ) -> SessionResult:
+        flat = self._flat.evaluate(query)
+        return SessionResult(
+            query=query,
+            engine="flat",
+            cached=cached,
+            elapsed=time.perf_counter() - start,
+            flat=flat,
+        )
+
+    def _fallback_result(
+        self, query: Query, start: float, cached: bool
+    ) -> SessionResult:
+        """Route an exploding ``auto`` query to the flat engine."""
+        self.stats.fallbacks += 1
+        return self._flat_result(query, start, cached=cached)
+
+    def _sqlite_result(self, query: Query, start: float) -> SessionResult:
+        query.validate_against(self.database.schema())
+        rows = self._sqlite_engine().evaluate(query)
+        if query.projection is not None:
+            columns = query.projection
+        else:
+            columns = tuple(
+                attr
+                for name in query.relations
+                for attr in self.database[name].attributes
+            )
+        return SessionResult(
+            query=query,
+            engine="sqlite",
+            cached=False,
+            elapsed=time.perf_counter() - start,
+            raw=rows,
+            raw_attributes=columns,
+        )
+
+    def _wrap_fdb_result(
+        self,
+        query: Query,
+        factorised: FactorisedRelation,
+        cached: bool,
+        elapsed: float,
+    ) -> SessionResult:
+        """Executor hook: package a factorised result."""
+        return SessionResult(
+            query=query,
+            engine="fdb",
+            cached=cached,
+            elapsed=elapsed,
+            factorised=factorised,
+        )
 
     # -- helpers -----------------------------------------------------------
 

@@ -1,0 +1,23 @@
+"""The storage layer: physical organisation of relations.
+
+Splits *where data lives* from *how queries run* (:mod:`repro.exec`)
+and *how sessions are served* (:mod:`repro.service`).  The flat
+single-copy store stays :class:`~repro.relational.database.Database`;
+this package adds :class:`ShardedDatabase`, a horizontally partitioned
+store behind the same read API, enabling the per-shard parallel
+execution path.
+"""
+
+from repro.storage.sharded import (
+    PARTITION_STRATEGIES,
+    ShardedDatabase,
+    ShardingError,
+    stable_row_hash,
+)
+
+__all__ = [
+    "PARTITION_STRATEGIES",
+    "ShardedDatabase",
+    "ShardingError",
+    "stable_row_hash",
+]

@@ -175,9 +175,83 @@ def test_batch_command_from_file(csv_dir, tmp_path, capsys):
     assert "2 queries in" in out
 
 
+def test_batch_sharded_parallel_matches_serial(csv_dir, capsys):
+    args = [
+        "batch",
+        "--csv",
+        csv_dir["Orders"],
+        csv_dir["Store"],
+        "--sql",
+        "SELECT * FROM Orders, Store WHERE o_item = s_item",
+        "SELECT oid FROM Orders",
+        "--verbose",
+    ]
+    assert main(args) == 0
+    serial_out = capsys.readouterr().out
+
+    assert (
+        main(
+            args
+            + ["--shards", "2", "--workers", "2", "--cache-size", "4"]
+        )
+        == 0
+    )
+    sharded_out = capsys.readouterr().out
+    assert "2 shards (hash)" in sharded_out
+    assert "parallel" in sharded_out
+
+    def tuple_counts(text):
+        return [
+            line.split("tuples")[0].split()[-1]
+            for line in text.splitlines()
+            if "tuples" in line
+        ]
+
+    assert tuple_counts(sharded_out) == tuple_counts(serial_out)
+
+
+def test_batch_cache_size_reports_evictions(csv_dir, capsys):
+    code = main(
+        [
+            "batch",
+            "--csv",
+            csv_dir["Orders"],
+            csv_dir["Store"],
+            "--sql",
+            "SELECT * FROM Orders",
+            "SELECT * FROM Store",
+            "SELECT oid FROM Orders",
+            "--cache-size",
+            "1",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "2 evicted" in out
+
+
 def test_batch_without_queries_fails(csv_dir):
     with pytest.raises(SystemExit):
         main(["batch", "--csv", csv_dir["Orders"]])
+
+
+@pytest.mark.parametrize(
+    "flag,value",
+    [("--shards", "0"), ("--workers", "0"), ("--cache-size", "0")],
+)
+def test_batch_rejects_invalid_layout_values(csv_dir, flag, value):
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "batch",
+                "--csv",
+                csv_dir["Orders"],
+                "--sql",
+                "SELECT oid FROM Orders",
+                flag,
+                value,
+            ]
+        )
 
 
 def test_python_dash_m_repro_smoke():

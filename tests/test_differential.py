@@ -18,11 +18,13 @@ from typing import List, Tuple
 import pytest
 
 from repro.engine import FDB
+from repro.exec import ParallelExecutor, SerialExecutor
 from repro.query.query import Query
 from repro.relational.database import Database
 from repro.relational.engine import RelationalEngine
 from repro.relational.sqlite_engine import SQLiteEngine
 from repro.service import QuerySession
+from repro.storage import ShardedDatabase
 from repro.workloads import random_database, random_spj_queries
 
 #: (database seed, query seed, #queries) -- 3 x 20 = 60 >= 50 queries.
@@ -107,6 +109,55 @@ def test_session_facade_matches_direct_engines():
         for engine in ("auto", "fdb", "flat", "sqlite"):
             assert session.run(query, engine=engine).rows() == expected
     session.close()
+
+
+@pytest.mark.parametrize(
+    "db_seed,query_seed,count,strategy",
+    [
+        (101, 201, 20, "hash"),
+        (102, 202, 20, "round_robin"),
+        (103, 203, 20, "hash"),
+    ],
+)
+def test_sharded_parallel_path_agrees_with_all_engines(
+    db_seed, query_seed, count, strategy
+):
+    """ShardedDatabase + ParallelExecutor joins the harness (PR-1
+    policy): the per-shard union path must agree with FDB, the flat
+    engine and SQLite on the same seeded random SPJ batches."""
+    db = _database(db_seed)
+    sharded = ShardedDatabase.from_database(
+        db, shards=3, strategy=strategy
+    )
+    queries = _queries(db, query_seed, count)
+    executor = ParallelExecutor(max_workers=3)
+    with QuerySession(
+        sharded, executor=executor, check_invariants=True
+    ) as session, SQLiteEngine(db) as sqlite:
+        results = session.run_batch(queries)
+        for index, (query, result) in enumerate(zip(queries, results)):
+            order, expected = fdb_rows(db, query)
+            context = (
+                f"seed {db_seed}/{query_seed} query {index} "
+                f"({strategy}): {query}"
+            )
+            assert result.rows() == expected, context
+            assert flat_rows(db, query, order) == expected, context
+            assert (
+                sqlite_rows(sqlite, db, query, order) == expected
+            ), context
+
+
+def test_sharded_serial_path_agrees():
+    """The merged view of a ShardedDatabase serves the serial executor
+    unchanged -- same answers as the flat database."""
+    db = _database(104)
+    sharded = ShardedDatabase.from_database(db, shards=4)
+    queries = _queries(db, 204, 12)
+    with QuerySession(sharded, executor=SerialExecutor()) as session:
+        for query in queries:
+            _, expected = fdb_rows(db, query)
+            assert session.run(query).rows() == expected
 
 
 def test_session_fallback_path_agrees():

@@ -27,7 +27,9 @@ import repro.relational.engine
 import repro.relational.relation
 import repro.relational.schema
 import repro.relational.sqlite_engine
+import repro.service.cache
 import repro.service.session
+import repro.storage.sharded
 
 MODULES = [
     repro,
@@ -49,7 +51,9 @@ MODULES = [
     repro.relational.relation,
     repro.relational.schema,
     repro.relational.sqlite_engine,
+    repro.service.cache,
     repro.service.session,
+    repro.storage.sharded,
 ]
 
 

@@ -111,6 +111,36 @@ def test_version_counter_moves_once_per_mutation(db):
     assert db.version == start + 2
 
 
+def test_delete_rows_invalidates_cached_statistics(session, db):
+    session.run(parse_query(JOIN))
+    assert session.statistics().cardinalities["R"] == 4
+    builds = session.stats.stats_builds
+
+    assert db.delete_rows("R", where=lambda row: row[0] == 1) == 2
+    result = session.run(parse_query(JOIN))
+    assert not result.cached  # plans dropped with the statistics
+    assert session.stats.invalidations == 1
+    assert session.statistics().cardinalities["R"] == 2
+    assert session.stats.stats_builds == builds + 1
+    # Rows joining through the deleted a=1 tuples are gone.
+    assert all(row[0] != 1 for row in result.rows())
+
+
+def test_update_rows_invalidates_cached_statistics(session, db):
+    session.run(parse_query(JOIN))
+    assert session.statistics().distincts["S"]["d"] == 3
+    builds = session.stats.stats_builds
+
+    # (1, 7) already has d=7, so two of the three rows actually change.
+    assert db.update_rows("S", lambda row: True, {"d": 7}) == 2
+    result = session.run(parse_query(JOIN))
+    assert not result.cached
+    assert session.stats.invalidations == 1
+    assert session.statistics().distincts["S"]["d"] == 1
+    assert session.stats.stats_builds == builds + 1
+    assert all(row[3] == 7 for row in result.rows())
+
+
 # -- batch execution -------------------------------------------------------
 
 
@@ -178,6 +208,78 @@ def test_fallback_estimate_cached_on_plan(db):
     session.run(parse_query(REORDERED))
     assert session.stats.stats_builds == 1  # estimate computed once
     assert session.stats.plan_hits == 1  # fallback still uses the cache
+
+
+# -- LRU bounds on the plan caches -----------------------------------------
+
+
+DISTINCT_QUERIES = [
+    "SELECT * FROM R",
+    "SELECT * FROM S",
+    "SELECT * FROM R, S WHERE b = c",
+    "SELECT * FROM R, S WHERE b = d",
+]
+
+
+def test_cache_size_bounds_plan_cache(db):
+    session = QuerySession(db, cache_size=2)
+    for sql in DISTINCT_QUERIES:
+        session.run(parse_query(sql))
+    assert len(session._plans) == 2
+    assert session.stats.plan_evictions == 2
+    assert session.cached_plan_count == 2
+
+
+def test_eviction_is_least_recently_used(db):
+    session = QuerySession(db, cache_size=2)
+    session.run(parse_query(DISTINCT_QUERIES[0]))
+    session.run(parse_query(DISTINCT_QUERIES[1]))
+    session.run(parse_query(DISTINCT_QUERIES[0]))  # refresh #0
+    session.run(parse_query(DISTINCT_QUERIES[2]))  # evicts #1
+    assert session.run(parse_query(DISTINCT_QUERIES[0])).cached
+    assert not session.run(parse_query(DISTINCT_QUERIES[1])).cached
+    assert session.stats.plan_evictions >= 1
+
+
+def test_evicted_plans_are_recompiled_correctly(db):
+    bounded = QuerySession(db, cache_size=1)
+    unbounded = QuerySession(db)
+    for sql in DISTINCT_QUERIES * 2:
+        assert (
+            bounded.run(parse_query(sql)).rows()
+            == unbounded.run(parse_query(sql)).rows()
+        )
+    # Capacity one and a cycle of four: every run is a miss.
+    assert bounded.stats.plan_hits == 0
+    assert bounded.stats.plan_misses == 8
+    assert unbounded.stats.plan_hits == 4
+
+
+def test_cache_counters_exposed(db):
+    session = QuerySession(db, cache_size=2)
+    for sql in DISTINCT_QUERIES:
+        session.run(parse_query(sql))
+    counters = session.cache_counters()
+    assert counters["plans"]["size"] == 2
+    assert counters["plans"]["evictions"] == 2
+    assert counters["plans"]["misses"] == 4
+    assert counters["fplans"]["size"] == 0
+
+
+def test_invalid_cache_size_rejected(db):
+    with pytest.raises(ValueError):
+        QuerySession(db, cache_size=0)
+
+
+def test_run_on_fplan_cache_is_bounded(db):
+    session = QuerySession(db, cache_size=1)
+    fr = session.run(parse_query("SELECT * FROM R, S")).factorised
+    session.run_on(fr, Query.make([], equalities=[("b", "c")]))
+    session.run_on(fr, Query.make([], equalities=[("b", "d")]))
+    session.run_on(fr, Query.make([], equalities=[("b", "c")]))
+    assert len(session._fplans) == 1
+    assert session.stats.fplan_evictions == 2
+    assert session.stats.fplan_hits == 0  # cycle of two, capacity one
 
 
 # -- facade odds and ends --------------------------------------------------

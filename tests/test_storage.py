@@ -1,0 +1,231 @@
+"""Storage layer: sharded databases and row-level mutations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costs.cardinality import Statistics
+from repro.relational.database import Database
+from repro.relational.schema import SchemaError
+from repro.storage import (
+    PARTITION_STRATEGIES,
+    ShardedDatabase,
+    ShardingError,
+    stable_row_hash,
+)
+from repro.workloads import random_database
+
+
+def flat_db() -> Database:
+    db = Database()
+    db.add_rows(
+        "R", ("a", "b"), [(i, i % 3) for i in range(12)]
+    )
+    db.add_rows("S", ("c", "d"), [(i % 3, i) for i in range(7)])
+    db.add_rows("U", ("e",), [(1,), (2,)])
+    return db
+
+
+# -- Database row-level mutations ------------------------------------------
+
+
+def test_delete_rows_by_tuple_and_predicate():
+    db = flat_db()
+    before = db.version
+    assert db.delete_rows("R", rows=[(0, 0), (99, 99)]) == 1
+    assert db.version == before + 1
+    assert db.delete_rows("R", where=lambda row: row[1] == 1) == 4
+    assert len(db["R"]) == 7
+    assert db.version == before + 2
+
+
+def test_delete_rows_requires_a_criterion():
+    db = flat_db()
+    with pytest.raises(ValueError):
+        db.delete_rows("R")
+    assert db.delete_rows("R", where=lambda row: True) == 12
+    assert len(db["R"]) == 0
+
+
+def test_noop_delete_does_not_bump_version():
+    db = flat_db()
+    before = db.version
+    assert db.delete_rows("R", rows=[(99, 99)]) == 0
+    assert db.delete_rows("R", where=lambda row: False) == 0
+    assert db.version == before
+
+
+def test_update_rows_rewrites_and_bumps_version():
+    db = flat_db()
+    before = db.version
+    changed = db.update_rows(
+        "S", lambda row: row[0] == 0, {"d": lambda row: row[1] + 100}
+    )
+    assert changed == 3
+    assert db.version == before + 1
+    assert all(d >= 100 for c, d in db["S"].rows if c == 0)
+
+
+def test_update_rows_set_semantics_may_merge():
+    db = Database()
+    db.add_rows("R", ("a", "b"), [(1, 1), (1, 2)])
+    assert db.update_rows("R", lambda row: True, {"b": 9}) == 2
+    assert db["R"].rows == [(1, 9)]
+
+
+def test_noop_update_does_not_bump_version():
+    db = flat_db()
+    before = db.version
+    assert db.update_rows("U", lambda row: True, {"e": lambda r: r[0]}) == 0
+    assert db.version == before
+
+
+def test_store_rejects_schema_change():
+    db = flat_db()
+    from repro.relational.relation import Relation
+
+    with pytest.raises(SchemaError):
+        db._store(Relation.from_rows("R", ("a", "z"), [(1, 1)]))
+
+
+# -- ShardedDatabase construction and the merged view ----------------------
+
+
+def test_sharded_preserves_merged_view():
+    db = flat_db()
+    sdb = ShardedDatabase.from_database(db, shards=3)
+    assert sdb.names == db.names
+    assert sdb.schema() == db.schema()
+    for name in db.names:
+        assert sdb[name].rows == db[name].rows
+    assert sdb.total_size == db.total_size
+
+
+@pytest.mark.parametrize("strategy", PARTITION_STRATEGIES)
+def test_partitions_are_a_disjoint_cover(strategy):
+    sdb = ShardedDatabase.from_database(
+        flat_db(), shards=3, strategy=strategy
+    )
+    for name in sdb.names:
+        merged = set(sdb[name].rows)
+        parts = [set(sdb.shard(i)[name].rows) for i in range(3)]
+        assert set.union(*parts) == merged
+        assert sum(len(p) for p in parts) == len(merged)  # disjoint
+
+
+def test_round_robin_is_balanced():
+    sdb = ShardedDatabase.from_database(
+        flat_db(), shards=3, strategy="round_robin"
+    )
+    sizes = sdb.shard_sizes("R")
+    assert max(sizes) - min(sizes) <= 1
+    assert sum(sizes) == 12
+
+
+def test_hash_placement_is_content_addressed():
+    sdb = ShardedDatabase.from_database(flat_db(), shards=3)
+    for row in sdb["R"].rows:
+        home = stable_row_hash(row) % 3
+        assert row in sdb.shard(home)["R"].rows
+
+
+def test_every_shard_knows_the_full_schema():
+    sdb = ShardedDatabase(shards=4)
+    sdb.add_rows("T", ("x",), [(1,)])  # 1 row, 4 shards
+    for i in range(4):
+        assert "T" in sdb.shard(i)
+        assert sdb.shard(i)["T"].attributes == ("x",)
+
+
+def test_invalid_configurations_rejected():
+    with pytest.raises(ShardingError):
+        ShardedDatabase(shards=0)
+    with pytest.raises(ShardingError):
+        ShardedDatabase(shards=2, strategy="range")
+    with pytest.raises(ShardingError):
+        ShardedDatabase(shards=2).shard(5)
+
+
+# -- mutations re-partition ------------------------------------------------
+
+
+@pytest.mark.parametrize("strategy", PARTITION_STRATEGIES)
+def test_mutations_keep_shards_in_sync(strategy):
+    sdb = ShardedDatabase.from_database(
+        flat_db(), shards=3, strategy=strategy
+    )
+
+    def cover(name):
+        merged = set(sdb[name].rows)
+        parts = [set(sdb.shard(i)[name].rows) for i in range(3)]
+        assert set().union(*parts) == merged
+        assert sum(len(p) for p in parts) == len(merged)  # disjoint
+
+    before = sdb.version
+    sdb.extend_rows("R", [(100, 100), (101, 101)])
+    cover("R")
+    assert sdb.delete_rows("R", where=lambda row: row[0] < 3) == 3
+    cover("R")
+    assert sdb.update_rows("R", lambda row: row[0] == 100, {"b": 7}) == 1
+    cover("R")
+    assert (100, 7) in sdb["R"].rows
+    assert sdb.version == before + 3
+
+
+def test_version_counter_inherited():
+    sdb = ShardedDatabase.from_database(flat_db(), shards=2)
+    before = sdb.version
+    sdb.add_rows("W", ("w",), [(1,)])
+    assert sdb.version == before + 1
+    assert all("W" in sdb.shard(i) for i in range(2))
+
+
+# -- per-shard statistics and views ----------------------------------------
+
+
+def test_shard_statistics_describe_partitions_and_cache():
+    sdb = ShardedDatabase.from_database(flat_db(), shards=2)
+    stats0 = sdb.shard_statistics(0)
+    assert stats0 is sdb.shard_statistics(0)  # cached per version
+    assert (
+        stats0.cardinalities["R"] + sdb.shard_statistics(1).cardinalities["R"]
+        == 12
+    )
+    merged = Statistics.of_database(sdb)
+    assert merged.cardinalities["R"] == 12
+    sdb.extend_rows("R", [(500, 500)])
+    assert sdb.shard_statistics(0) is not stats0  # invalidated
+
+
+def test_shard_view_swaps_exactly_one_relation():
+    sdb = ShardedDatabase.from_database(flat_db(), shards=3)
+    view = sdb.shard_view(1, "R")
+    assert view["R"].rows == sdb.shard(1)["R"].rows
+    assert view["S"].rows == sdb["S"].rows
+    assert view["U"].rows == sdb["U"].rows
+    assert sorted(view.names) == sorted(sdb.names)
+
+
+def test_fanout_prefers_largest_relation():
+    sdb = ShardedDatabase.from_database(flat_db(), shards=2)
+    assert sdb.fanout_relation(["R", "S", "U"]) == "R"
+    assert sdb.fanout_relation(["S", "U"]) == "S"
+    with pytest.raises(ShardingError):
+        sdb.fanout_relation([])
+
+
+def test_sharding_a_random_database_roundtrips():
+    db = random_database(
+        relations=4, attributes=8, tuples=20, domain=6, seed=5
+    )
+    for strategy in PARTITION_STRATEGIES:
+        sdb = ShardedDatabase.from_database(
+            db, shards=4, strategy=strategy
+        )
+        for name in db.names:
+            assert sdb[name].rows == db[name].rows
+            merged = set(db[name].rows)
+            parts = [
+                set(sdb.shard(i)[name].rows) for i in range(4)
+            ]
+            assert set().union(*parts) == merged
