@@ -19,7 +19,7 @@ import random
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import bench_json, emit
 from repro.core.build import factorise
 from repro.core.factorised import FactorisedRelation
 from repro.core.ftree import FNode, FTree
@@ -91,6 +91,16 @@ def test_ablation_ftree_choice(benchmark):
                 ],
             ],
         ),
+    )
+    bench_json(
+        "ablation_ftree_choice",
+        {
+            "optimal_cost": float(cost),
+            "optimal_singletons": opt_fr.size(),
+            "chain_cost": float(s_tree(chain)),
+            "chain_singletons": chain_fr.size(),
+            "size_ratio": chain_fr.size() / max(opt_fr.size(), 1),
+        },
     )
     assert opt_fr.same_relation(chain_fr)
     # The optimal tree must never lose; typically it wins big.

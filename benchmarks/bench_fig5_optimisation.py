@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import emit, full_scale
+from benchmarks.conftest import bench_json, emit, full_scale
 from repro.experiments import exp1, format_table
 from repro.experiments.exp1 import run_experiment1
 
@@ -42,6 +42,7 @@ def test_fig5_optimal_ftree_search(benchmark):
         "Figure 5: optimal f-tree time and cost s(T)",
         format_table(exp1.headers(), exp1.as_cells(rows)),
     )
+    bench_json("fig5_optimisation", {"rows": rows})
     # Paper shapes: cost 1 for up to two relations, never wild.
     for row in rows:
         if row.relations <= 2:

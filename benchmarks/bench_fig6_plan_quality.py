@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import emit, full_scale
+from benchmarks.conftest import bench_json, emit, full_scale
 from repro.experiments import exp2, format_table
 from repro.experiments.exp2 import run_experiment2
 
@@ -38,6 +38,7 @@ def test_fig6_plan_quality(benchmark):
         "Figure 6: f-plan / result f-tree costs, full vs greedy",
         format_table(exp2.headers(), exp2.as_cells(rows)),
     )
+    bench_json("fig6_plan_quality", {"rows": rows})
     for row in rows:
         # Full search is optimal: never worse than greedy.
         assert row.full_plan_cost <= row.greedy_plan_cost + 1e-9

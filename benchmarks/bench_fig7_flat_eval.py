@@ -20,7 +20,7 @@ import math
 
 import pytest
 
-from benchmarks.conftest import emit, full_scale
+from benchmarks.conftest import bench_json, emit, full_scale
 from repro.experiments import exp3, format_table
 from repro.experiments.exp3 import run_experiment3
 
@@ -55,6 +55,7 @@ def test_fig7_flat_evaluation(benchmark):
         "(FDB vs RDB vs SQLite)",
         format_table(exp3.headers(), exp3.as_cells(rows)),
     )
+    bench_json("fig7_flat_eval", {"rows": rows})
     # Shape 1: factorised never larger than flat (modulo empties).
     for row in rows:
         if row.flat_size_elements > 0 and not math.isnan(

@@ -17,7 +17,7 @@ import math
 
 import pytest
 
-from benchmarks.conftest import emit, full_scale
+from benchmarks.conftest import bench_json, emit, full_scale
 from repro.experiments import exp4, format_table
 from repro.experiments.exp4 import run_experiment4
 
@@ -48,6 +48,7 @@ def test_fig8_factorised_evaluation(benchmark):
         "flat (RDB) results",
         format_table(exp4.headers(), exp4.as_cells(rows)),
     )
+    bench_json("fig8_factorised_eval", {"rows": rows})
     for row in rows:
         # Factorised result never exceeds its flat equivalent.
         if row.flat_result_elements > 0 and not math.isnan(

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import emit, full_scale
+from benchmarks.conftest import bench_json, emit, full_scale
 from repro.experiments import exp2, format_table
 from repro.experiments.exp2 import run_experiment2
 
@@ -52,6 +52,15 @@ def test_fig9_optimiser_times(benchmark):
     # magnitude); assert on aggregate to tolerate tiny-L noise.
     total_full = sum(r.full_time_seconds for r in rows)
     total_greedy = sum(r.greedy_time_seconds for r in rows)
+    bench_json(
+        "fig9_optimiser_time",
+        {
+            "rows": rows,
+            "total_full_seconds": total_full,
+            "total_greedy_seconds": total_greedy,
+            "greedy_speedup": total_full / max(total_greedy, 1e-9),
+        },
+    )
     assert total_greedy < total_full
 
 

@@ -18,7 +18,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import emit, full_scale, smoke_mode
+from benchmarks.conftest import bench_json, emit, full_scale, smoke_mode
 from repro.engine import FDB
 from repro.service import QuerySession
 from repro.workloads import random_database, repeated_query_workload
@@ -117,6 +117,21 @@ def test_plan_cache_warm_speedup(benchmark):
                 f"{batch_stats.batch_deduped} deduped)",
             ]
         ),
+    )
+
+    bench_json(
+        "plan_cache",
+        {
+            "workload_queries": len(workload),
+            "canonical_templates": stats.plan_misses,
+            "cold_seconds": cold_time,
+            "warm_seconds": warm_time,
+            "batch_seconds": batch_time,
+            "warm_speedup": cold_time / max(warm_time, 1e-9),
+            "batch_speedup": cold_time / max(batch_time, 1e-9),
+            "plan_hits": stats.plan_hits,
+            "batch_deduped": batch_stats.batch_deduped,
+        },
     )
 
     # Correctness first: all three paths agree on every result.

@@ -29,7 +29,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import emit, full_scale, smoke_mode
+from benchmarks.conftest import bench_json, emit, full_scale, smoke_mode
 from repro.exec import ParallelExecutor, SerialExecutor
 from repro.service import QuerySession
 from repro.storage import ShardedDatabase
@@ -137,6 +137,20 @@ def test_shard_scaling_throughput():
                 *rows,
             ]
         ),
+    )
+
+    bench_json(
+        "shard_scaling",
+        {
+            "workload_queries": len(workload),
+            "unique_templates": p["unique"],
+            "database_tuples": db.total_size,
+            "seconds": times,
+            "pool_kinds": pool_kinds,
+            "best_parallel_speedup": (
+                times[serial_label] / max(best_parallel, 1e-9)
+            ),
+        },
     )
 
     # Correctness first: every configuration returns the same answers.

@@ -4,11 +4,21 @@ Every benchmark regenerates one figure of Section 5 and prints the
 series it plots (run pytest with ``-s`` to see the tables).  Default
 parameters are laptop-scale; set ``FDB_BENCH_FULL=1`` for sweeps close
 to the paper's (long runtimes in pure Python).
+
+Besides the human-readable table, every benchmark writes a
+machine-readable ``BENCH_<name>.json`` (see :func:`bench_json`) so the
+performance trajectory is tracked across PRs instead of being lost in
+stdout; CI uploads the files as workflow artifacts.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import os
+import platform
+import sys
+import time
 
 import pytest
 
@@ -37,3 +47,52 @@ def emit(title: str, table: str) -> None:
     print()
     print(f"=== {title} ===")
     print(table)
+
+
+def _jsonable(value):
+    """Best-effort conversion of benchmark rows to JSON values."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            k: _jsonable(v)
+            for k, v in dataclasses.asdict(value).items()
+        }
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, float) and value != value:  # NaN -> null
+        return None
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def bench_json(name: str, payload: dict) -> str:
+    """Write ``BENCH_<name>.json`` next to the human output.
+
+    The directory defaults to the current working directory and can be
+    redirected with ``FDB_BENCH_JSON_DIR``.  Every document carries the
+    scale it ran at (timings at smoke scale are not comparable with
+    default/full runs) and enough platform context to interpret the
+    numbers; returns the path written.
+    """
+    directory = os.environ.get("FDB_BENCH_JSON_DIR", ".")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    document = {
+        "benchmark": name,
+        "scale": (
+            "smoke"
+            if smoke_mode()
+            else ("full" if full_scale() else "default")
+        ),
+        "unix_time": time.time(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        **_jsonable(payload),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[bench-json] wrote {path}")
+    return path

@@ -23,13 +23,16 @@ f-representations), :mod:`repro.ops` (f-plan operators),
 :mod:`repro.storage` (sharded physical organisation),
 :mod:`repro.exec` (serial and pool-parallel executors),
 :mod:`repro.service` (plan-cached query sessions for repeated
-traffic), :mod:`repro.workloads` (Section 5 data generators).
+traffic), :mod:`repro.persist` (durable databases, serialised
+factorised results and the cross-process plan store),
+:mod:`repro.workloads` (Section 5 data generators).
 """
 
 from repro.core.factorised import FactorisedRelation
 from repro.core.ftree import FNode, FTree
 from repro.engine import FDB
 from repro.exec import Executor, ParallelExecutor, SerialExecutor
+from repro.persist import PersistError, PlanStore
 from repro.query.parser import parse_query
 from repro.query.query import Query
 from repro.relational.budget import Budget, BudgetExceeded
@@ -40,7 +43,7 @@ from repro.relational.sqlite_engine import SQLiteEngine
 from repro.service.session import QuerySession, SessionResult, SessionStats
 from repro.storage import ShardedDatabase
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Budget",
@@ -53,6 +56,8 @@ __all__ = [
     "FTree",
     "ParallelExecutor",
     "parse_query",
+    "PersistError",
+    "PlanStore",
     "Query",
     "QuerySession",
     "Relation",

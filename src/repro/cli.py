@@ -5,7 +5,12 @@ Subcommands:
 - ``query``      evaluate an SQL-like SPJ query over CSV relations,
                  printing the factorised result (or flat rows);
 - ``batch``      run many queries through one plan-cached
-                 :class:`~repro.service.QuerySession`;
+                 :class:`~repro.service.QuerySession` (optionally
+                 against a saved database, ``--db``, with a disk-backed
+                 plan store, ``--plan-store``);
+- ``save``       persist a (possibly sharded) database in the binary
+                 FDBP format;
+- ``load``       inspect a persisted file and optionally query it;
 - ``compile``    factorise a query result and save it to a file;
 - ``stats``      show f-tree, sizes and costs of a saved factorisation;
 - ``experiment`` run one of the paper's experiments (1-4);
@@ -25,6 +30,7 @@ import sys
 import time
 from typing import List, Optional, Sequence
 
+from repro import persist
 from repro.core import serialize
 from repro.costs.cost_model import s_tree
 from repro.engine import FDB
@@ -52,6 +58,23 @@ def _load(paths: Sequence[str]) -> Database:
     if not paths:
         raise SystemExit("no input relations: pass --csv file.csv ...")
     return load_database(list(paths))
+
+
+def _load_database_arg(args: argparse.Namespace) -> Database:
+    """The input database: ``--db`` (persisted) beats ``--csv``."""
+    saved = getattr(args, "db", None)
+    if saved:
+        try:
+            loaded = persist.load(saved)
+        except persist.PersistError as exc:
+            raise SystemExit(f"cannot load {saved!r}: {exc}")
+        if not isinstance(loaded, Database):
+            raise SystemExit(
+                f"{saved!r} holds a "
+                f"{type(loaded).__name__}, not a database"
+            )
+        return loaded
+    return _load(args.csv)
 
 
 def _print_result(fr, flat: bool, limit: int) -> None:
@@ -116,11 +139,23 @@ def cmd_batch(args: argparse.Namespace) -> int:
             f"--cache-size must be >= 1 (omit it for an unbounded "
             f"cache), got {args.cache_size}"
         )
-    db = _load(args.csv)
+    db = _load_database_arg(args)
     if args.shards > 1:
-        db = ShardedDatabase.from_database(
-            db, shards=args.shards, strategy=args.strategy
-        )
+        if isinstance(db, ShardedDatabase):
+            if (
+                db.shard_count != args.shards
+                or db.strategy != args.strategy
+            ):
+                raise SystemExit(
+                    f"--shards {args.shards} ({args.strategy}) "
+                    f"conflicts with the saved layout of {args.db!r}: "
+                    f"{db.shard_count} shards ({db.strategy}); omit "
+                    f"--shards to use the saved layout, or re-save"
+                )
+        else:
+            db = ShardedDatabase.from_database(
+                db, shards=args.shards, strategy=args.strategy
+            )
     queries = [parse_query(stmt) for stmt in _read_batch_queries(args)]
     queries = queries * args.repeat
     budget = (
@@ -133,6 +168,9 @@ def cmd_batch(args: argparse.Namespace) -> int:
         if args.workers > 1
         else SerialExecutor()
     )
+    plan_store = (
+        persist.PlanStore(args.plan_store) if args.plan_store else None
+    )
     session = QuerySession(
         db,
         plan_search=args.planner,
@@ -140,6 +178,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         budget=budget,
         executor=executor,
         cache_size=args.cache_size,
+        plan_store=plan_store,
     )
     start = time.perf_counter()
     try:
@@ -163,8 +202,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
             )
     stats = session.stats
     layout = []
-    if args.shards > 1:
-        layout.append(f"{args.shards} shards ({args.strategy})")
+    if isinstance(db, ShardedDatabase):
+        layout.append(f"{db.shard_count} shards ({db.strategy})")
     layout.append(session.executor.describe())
     print(
         f"{len(results)} queries in {elapsed:.4f}s "
@@ -183,6 +222,70 @@ def cmd_batch(args: argparse.Namespace) -> int:
         f"statistics built {stats.stats_builds}x; "
         f"invalidations: {stats.invalidations}"
     )
+    if plan_store is not None:
+        counters = plan_store.counters()
+        print(
+            f"plan store: {stats.store_hits} hits, "
+            f"{stats.store_misses} misses, "
+            f"{counters['writes']} written, "
+            f"{counters['stale_evictions']} stale-evicted "
+            f"({counters['size']} entries at {plan_store.path})"
+        )
+    return 0
+
+
+def cmd_save(args: argparse.Namespace) -> int:
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    db = _load(args.csv)
+    if args.shards > 1:
+        db = ShardedDatabase.from_database(
+            db, shards=args.shards, strategy=args.strategy
+        )
+    persist.save(db, args.output)
+    shape = (
+        f"{db.shard_count} shards ({db.strategy}), "
+        if isinstance(db, ShardedDatabase)
+        else ""
+    )
+    print(
+        f"saved {len(db)} relations, {db.total_size} tuples "
+        f"({shape}version {db.version}) to {args.output} "
+        f"[FDBP format v{persist.FORMAT_VERSION}]"
+    )
+    return 0
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    try:
+        info = persist.inspect(args.path)
+        loaded = persist.load(args.path)
+    except persist.PersistError as exc:
+        raise SystemExit(f"cannot load {args.path!r}: {exc}")
+    print(f"kind: {info['kind']}")
+    if isinstance(loaded, Database):
+        shape = (
+            f" over {loaded.shard_count} shards ({loaded.strategy})"
+            if isinstance(loaded, ShardedDatabase)
+            else ""
+        )
+        print(
+            f"{len(loaded)} relations, {loaded.total_size} tuples"
+            f"{shape}, version {loaded.version}"
+        )
+        for relation in loaded:
+            print(
+                f"  {relation.name}({', '.join(relation.attributes)}): "
+                f"{len(relation)} tuples"
+            )
+        for statement in args.sql or []:
+            fr = FDB(loaded).evaluate(parse_query(statement))
+            print(f"{statement!r}: {fr.count()} tuples, "
+                  f"{fr.size()} singletons")
+    else:
+        for key, value in sorted(info.items()):
+            if key != "kind":
+                print(f"  {key}: {value}")
     return 0
 
 
@@ -357,12 +460,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="LRU bound on the plan caches (default: unbounded)",
     )
     b.add_argument(
+        "--db",
+        default=None,
+        help="run against a database saved with 'repro save' "
+        "(overrides --csv; a sharded save keeps its layout)",
+    )
+    b.add_argument(
+        "--plan-store",
+        default=None,
+        help="directory of a disk-backed plan store; compiled plans "
+        "are shared across sessions and processes",
+    )
+    b.add_argument(
         "-v",
         "--verbose",
         action="store_true",
         help="print one line per query",
     )
     b.set_defaults(func=cmd_batch)
+
+    sv = sub.add_parser(
+        "save",
+        help="persist a (possibly sharded) database in FDBP format",
+    )
+    add_csv(sv)
+    sv.add_argument("-o", "--output", required=True)
+    sv.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="save sharded: per-shard files plus a manifest",
+    )
+    sv.add_argument(
+        "--strategy",
+        choices=list(PARTITION_STRATEGIES),
+        default="hash",
+    )
+    sv.set_defaults(func=cmd_save)
+
+    ld = sub.add_parser(
+        "load", help="inspect (and query) a persisted FDBP file"
+    )
+    ld.add_argument("path")
+    ld.add_argument(
+        "--sql",
+        nargs="+",
+        help="queries to evaluate against a loaded database",
+    )
+    ld.set_defaults(func=cmd_load)
 
     c = sub.add_parser(
         "compile", help="factorise a query result to a file"

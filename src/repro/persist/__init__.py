@@ -1,0 +1,37 @@
+"""The persistence layer: durable databases and cross-session plans.
+
+Sits *beside* the storage layer rather than inside it: everything the
+engine computes in memory -- flat and sharded databases, f-trees,
+f-plans, and factorised query results themselves -- can be written to
+disk in a versioned, checksummed binary format (:mod:`~repro.persist.
+codec`) and read back byte-exactly in another process.  On top of the
+codec, :class:`PlanStore` keeps compiled plans on disk keyed by
+canonical query, schema fingerprint and database version, turning the
+serving layer's in-memory plan cache into the hot tier of a two-tier,
+cross-process cache (``QuerySession(plan_store=...)``).
+"""
+
+from repro.persist.codec import (
+    FORMAT_VERSION,
+    KINDS,
+    MAGIC,
+    MANIFEST_NAME,
+    PersistError,
+    inspect,
+    load,
+    save,
+)
+from repro.persist.store import PlanStore, schema_fingerprint
+
+__all__ = [
+    "FORMAT_VERSION",
+    "KINDS",
+    "MAGIC",
+    "MANIFEST_NAME",
+    "PersistError",
+    "PlanStore",
+    "inspect",
+    "load",
+    "save",
+    "schema_fingerprint",
+]

@@ -1,0 +1,208 @@
+"""A disk-backed, key-addressed store of compiled plans.
+
+PR 1/2 established (with the paper's Figure 9) that the optimiser
+dominates per-query cost and amortised it *within* a process via the
+session plan cache.  :class:`PlanStore` extends the amortisation
+across sessions and processes: compiled f-trees are written to a
+directory keyed on
+
+- :meth:`repro.query.query.Query.canonical_key` -- so reformulated
+  repeats share an entry,
+- the database *schema fingerprint* -- so a store directory can serve
+  several databases without cross-talk, and
+- :attr:`repro.relational.database.Database.version` -- so plans
+  compiled against mutated data are recognised as stale.
+
+The first two are baked into the entry's file name (a SHA-256 digest);
+the version travels in the entry header, so a lookup that finds an
+entry for the right query and schema but the wrong version *evicts*
+the file (stale plans are garbage, not history) and reports a miss.
+
+The store is a lower cache tier, not a session cache replacement:
+:class:`repro.service.session.QuerySession` keeps its in-memory LRU
+:class:`~repro.service.cache.PlanCache` as the hot tier and treats the
+store as write-through backing (see ``QuerySession.lookup_plan`` /
+``store_plan``).
+
+Concurrent use is safe in the usual cache sense: writes go through a
+unique temporary file plus an atomic rename, readers see either the
+whole entry or none, and a lost race merely costs a recompile.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import os
+import tempfile
+from typing import Any, Dict, List, Optional
+
+from repro.core.ftree import FTree
+from repro.persist import codec
+from repro.persist.codec import PersistError
+from repro.query.query import Query
+from repro.relational.database import Database
+
+#: File extension of store entries.
+ENTRY_SUFFIX = ".plan.fdbp"
+
+
+def schema_fingerprint(database: Database) -> str:
+    """A stable digest of the database *schema* (names + attributes).
+
+    Deliberately excludes the data: a plan store keyed on content
+    would never hit after any mutation, while the schema plus the
+    version check below gives exactly the staleness semantics the
+    in-memory caches already use.
+    """
+    schema = sorted(
+        (name, tuple(attrs)) for name, attrs in database.schema().items()
+    )
+    digest = hashlib.sha256(repr(schema).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _key_digest(query: Query, fingerprint: str) -> str:
+    payload = repr((query.canonical_key(), fingerprint))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class PlanStore:
+    """Compiled plans on disk, shared across sessions and processes.
+
+    >>> import tempfile
+    >>> from repro.relational.database import Database
+    >>> from repro.query.query import Query
+    >>> from repro.core.ftree import FTree
+    >>> db = Database()
+    >>> _ = db.add_rows("R", ("a", "b"), [(1, 2)])
+    >>> tree = FTree.from_nested([("a", [("b", [])])], [{"a", "b"}])
+    >>> store = PlanStore(tempfile.mkdtemp())
+    >>> q = Query.make(["R"])
+    >>> store.get(q, db) is None
+    True
+    >>> store.put(q, db, tree)
+    >>> store.get(q, db) == tree
+    True
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        os.makedirs(path, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.stale_evictions = 0
+
+    # -- addressing --------------------------------------------------------
+
+    def _entry_path(self, query: Query, fingerprint: str) -> str:
+        return os.path.join(
+            self.path, _key_digest(query, fingerprint) + ENTRY_SUFFIX
+        )
+
+    # -- the store API -----------------------------------------------------
+
+    def get(self, query: Query, database: Database) -> Optional[FTree]:
+        """The stored plan for ``query`` over ``database``, or ``None``.
+
+        A stored entry whose ``db_version`` does not match the live
+        database is *stale*: it is deleted and the lookup misses.  A
+        corrupt entry raises :class:`PersistError` -- the store never
+        silently returns a plan it cannot verify.
+        """
+        fingerprint = schema_fingerprint(database)
+        path = self._entry_path(query, fingerprint)
+        try:
+            with open(path, "rb") as handle:
+                kind, header, payload = codec.read_blob(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except PersistError as exc:
+            raise PersistError(
+                f"corrupt plan-store entry {os.path.basename(path)!r}: "
+                f"{exc}"
+            ) from exc
+        if kind != "plan-entry":
+            raise PersistError(
+                f"plan-store entry {os.path.basename(path)!r} holds "
+                f"{kind!r}, not a plan"
+            )
+        if header.get("fingerprint") != fingerprint:
+            # Digest collision across schemas: treat as a miss.
+            self.misses += 1
+            return None
+        if header.get("db_version") != database.version:
+            self._evict(path)
+            self.stale_evictions += 1
+            self.misses += 1
+            return None
+        tree = codec.decode("ftree", {}, payload)
+        self.hits += 1
+        return tree  # type: ignore[return-value]
+
+    def put(
+        self, query: Query, database: Database, tree: FTree
+    ) -> None:
+        """Store ``tree`` as the compiled plan of ``query``."""
+        fingerprint = schema_fingerprint(database)
+        header: Dict[str, Any] = {
+            "fingerprint": fingerprint,
+            "db_version": database.version,
+            "query": str(query),
+        }
+        payload = codec._encode_ftree(tree)
+        out = io.BytesIO()
+        codec.write_blob(out, "plan-entry", header, payload)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.path, suffix=ENTRY_SUFFIX + ".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(out.getvalue())
+            os.replace(tmp, self._entry_path(query, fingerprint))
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        self.writes += 1
+
+    def _evict(self, path: str) -> None:
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass
+
+    # -- introspection -----------------------------------------------------
+
+    def entries(self) -> List[str]:
+        """File names of the current entries (sorted)."""
+        return sorted(
+            name
+            for name in os.listdir(self.path)
+            if name.endswith(ENTRY_SUFFIX)
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for name in self.entries():
+            self._evict(os.path.join(self.path, name))
+            removed += 1
+        return removed
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "stale_evictions": self.stale_evictions,
+            "size": len(self),
+        }
+
+    def describe(self) -> str:
+        return f"plan store at {self.path} ({len(self)} entries)"

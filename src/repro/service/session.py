@@ -25,7 +25,12 @@ traffic therefore must not pay the optimiser per arriving query.
 - **explosion fallback**: when the estimated factorised size exceeds
   ``fallback_budget``, evaluation routes to the flat engine under the
   session's (time/row) :class:`~repro.relational.budget.Budget`
-  instead of materialising a pathological factorisation.
+  instead of materialising a pathological factorisation;
+- **warm start**: with a :class:`~repro.persist.PlanStore`, the
+  in-memory plan cache becomes the hot tier of a two-tier cache --
+  lookups fall through to the disk store (hits are promoted into the
+  LRU), compiles are written through to it -- so a fresh session, or a
+  fresh *process*, starts with every previously compiled plan.
 
 The *mechanism* -- how the deduplicated queries actually run -- lives
 in the injected :class:`~repro.exec.Executor`: serial in-process by
@@ -38,7 +43,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import asdict, dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # import cycle guard: persist sits beside serving
+    from repro.persist import PlanStore
 
 from repro import ops
 from repro.core.factorised import FactorisedRelation
@@ -76,6 +84,8 @@ class SessionStats:
     fallbacks: int = 0
     batch_queries: int = 0
     batch_deduped: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return asdict(self)
@@ -184,6 +194,14 @@ class QuerySession:
         :meth:`close` shuts it down.
     cache_size:
         LRU bound applied to both plan caches (``None`` = unbounded).
+    plan_store:
+        Optional :class:`~repro.persist.PlanStore`.  The in-memory
+        plan cache becomes a write-through LRU tier over it: lookups
+        that miss the LRU consult the store (a disk hit skips the
+        optimiser and is promoted into the LRU), and freshly compiled
+        plans are written through, giving cross-session and
+        cross-process plan sharing.  Stale entries (other database
+        version) are evicted by the store itself.
 
     >>> from repro.relational.database import Database
     >>> from repro.query.parser import parse_query
@@ -209,6 +227,7 @@ class QuerySession:
         check_invariants: bool = False,
         executor: Optional[Executor] = None,
         cache_size: Optional[int] = None,
+        plan_store: Optional["PlanStore"] = None,
     ) -> None:
         self.database = database
         self.plan_search = plan_search
@@ -217,6 +236,7 @@ class QuerySession:
         self.budget = budget
         self.check_invariants = check_invariants
         self.cache_size = cache_size
+        self.plan_store = plan_store
         self.executor = executor if executor is not None else SerialExecutor()
         self.stats = SessionStats()
         self._sqlite: Optional[SQLiteEngine] = None
@@ -299,21 +319,44 @@ class QuerySession:
 
         Executor hook: a hit updates recency and the hit counters; a
         miss only counts (callers compile and :meth:`store_plan`).
+
+        With a :attr:`plan_store`, an LRU miss falls through to the
+        disk tier: a disk hit is promoted into the LRU and reported as
+        a (store) hit, so callers skip the optimiser exactly as for an
+        in-memory hit.
         """
-        plan = self._plans.get(query.canonical_key())
-        if plan is None:
-            self.stats.plan_misses += 1
-            return None
-        plan.hits += 1
-        self.stats.plan_hits += 1
-        return plan
+        key = query.canonical_key()
+        plan = self._plans.get(key)
+        if plan is not None:
+            plan.hits += 1
+            self.stats.plan_hits += 1
+            return plan
+        if self.plan_store is not None:
+            tree = self.plan_store.get(query, self.database)
+            if tree is not None:
+                plan = CachedPlan(key=key, tree=tree)
+                if self._plans.put(key, plan) is not None:
+                    self.stats.plan_evictions += 1
+                plan.hits += 1
+                self.stats.plan_hits += 1
+                self.stats.store_hits += 1
+                return plan
+            self.stats.store_misses += 1
+        self.stats.plan_misses += 1
+        return None
 
     def store_plan(self, query: Query, tree: FTree) -> CachedPlan:
-        """Executor hook: cache a freshly compiled f-tree."""
+        """Executor hook: cache a freshly compiled f-tree.
+
+        Write-through: with a :attr:`plan_store` the plan also lands
+        on disk, so other sessions and processes warm-start from it.
+        """
         key = query.canonical_key()
         plan = CachedPlan(key=key, tree=tree)
         if self._plans.put(key, plan) is not None:
             self.stats.plan_evictions += 1
+        if self.plan_store is not None:
+            self.plan_store.put(query, self.database, tree)
         return plan
 
     def compile(self, query: Query) -> Tuple[CachedPlan, bool]:

@@ -172,9 +172,46 @@ class ShardedDatabase(Database):
     def extend_rows(
         self, name: str, rows: Iterable[Sequence[object]]
     ) -> Relation:
+        rows = [tuple(row) for row in rows]
+        if self.strategy == "hash":
+            # Append fast path: hash placement is content-based, so
+            # existing rows cannot move -- route only the new rows to
+            # their shards instead of re-hashing the whole relation.
+            old = self[name]
+            fresh = sorted(
+                {row for row in rows if row not in old}
+            )
+            merged = super().extend_rows(name, rows)
+            self._route_appended(name, fresh)
+            return merged
+        # Round-robin placement depends on every row's global sorted
+        # position, which an insert shifts: full rebuild required.
         merged = super().extend_rows(name, rows)
         self._partition(name)
         return merged
+
+    def _route_appended(
+        self, name: str, fresh: Sequence[Tuple[object, ...]]
+    ) -> None:
+        """Merge genuinely new rows into their hash shards only."""
+        count = len(self._shard_dbs)
+        buckets: List[List[Tuple[object, ...]]] = [
+            [] for _ in range(count)
+        ]
+        for row in fresh:
+            buckets[stable_row_hash(row) % count].append(row)
+        schema = self[name].schema
+        for index, bucket in enumerate(buckets):
+            if not bucket:
+                continue  # untouched shards keep their partition
+            shard_db = self._shard_dbs[index]
+            part = shard_db[name]
+            shard_db._store(
+                Relation(
+                    schema,
+                    sorted(list(part.rows) + bucket),
+                )
+            )
 
     def delete_rows(self, name, rows=None, where=None) -> int:
         removed = super().delete_rows(name, rows=rows, where=where)

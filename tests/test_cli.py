@@ -230,6 +230,144 @@ def test_batch_cache_size_reports_evictions(csv_dir, capsys):
     assert "2 evicted" in out
 
 
+def test_save_load_round_trip_commands(csv_dir, tmp_path, capsys):
+    db_path = str(tmp_path / "db.fdbp")
+    code = main(
+        [
+            "save",
+            "--csv",
+            csv_dir["Orders"],
+            csv_dir["Store"],
+            "-o",
+            db_path,
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "saved 2 relations" in out
+    assert "FDBP format" in out
+
+    code = main(
+        [
+            "load",
+            db_path,
+            "--sql",
+            "SELECT * FROM Orders, Store WHERE o_item = s_item",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "kind: database" in out
+    assert "Orders(oid, o_item)" in out
+    assert "9 tuples" in out
+
+
+def test_save_sharded_and_batch_from_saved(csv_dir, tmp_path, capsys):
+    db_path = str(tmp_path / "sharded.fdbp")
+    assert (
+        main(
+            [
+                "save",
+                "--csv",
+                csv_dir["Orders"],
+                csv_dir["Store"],
+                "-o",
+                db_path,
+                "--shards",
+                "2",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "2 shards (hash)" in out
+
+    code = main(
+        [
+            "batch",
+            "--db",
+            db_path,
+            "--sql",
+            "SELECT * FROM Orders, Store WHERE o_item = s_item",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "1 queries in" in out
+    assert "2 shards (hash)" in out  # saved layout survives the trip
+
+
+def test_batch_plan_store_reports_cross_run_hits(
+    csv_dir, tmp_path, capsys
+):
+    store_dir = str(tmp_path / "plans")
+    args = [
+        "batch",
+        "--csv",
+        csv_dir["Orders"],
+        csv_dir["Store"],
+        "--sql",
+        "SELECT * FROM Orders, Store WHERE o_item = s_item",
+        "--plan-store",
+        store_dir,
+    ]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert "plan store: 0 hits, 1 misses, 1 written" in first
+
+    # Second invocation builds everything afresh (new session, new
+    # store handle) and must serve the plan from disk.
+    assert main(args) == 0
+    second = capsys.readouterr().out
+    assert "plan store: 1 hits, 0 misses" in second
+    assert "0 compiled, 1 cache hits" in second
+
+
+def test_load_rejects_garbage(tmp_path):
+    bad = tmp_path / "garbage.fdbp"
+    bad.write_bytes(b"this is not an FDBP file")
+    with pytest.raises(SystemExit):
+        main(["load", str(bad)])
+
+
+def test_load_rejects_missing_path(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["load", str(tmp_path / "missing.fdbp")])
+
+
+def test_batch_rejects_conflicting_shard_layout(
+    csv_dir, tmp_path, capsys
+):
+    db_path = str(tmp_path / "sharded.fdbp")
+    assert (
+        main(
+            [
+                "save",
+                "--csv",
+                csv_dir["Orders"],
+                "-o",
+                db_path,
+                "--shards",
+                "2",
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    with pytest.raises(SystemExit, match="conflicts with the saved"):
+        main(
+            [
+                "batch",
+                "--db",
+                db_path,
+                "--sql",
+                "SELECT oid FROM Orders",
+                "--shards",
+                "4",
+            ]
+        )
+
+
 def test_batch_without_queries_fails(csv_dir):
     with pytest.raises(SystemExit):
         main(["batch", "--csv", csv_dir["Orders"]])

@@ -160,6 +160,62 @@ def test_sharded_serial_path_agrees():
             assert session.run(query).rows() == expected
 
 
+def test_saved_then_reloaded_database_agrees(tmp_path):
+    """Persistence joins the harness (PR-1 policy): a database that
+    went through disk (repro.persist) must answer every seeded random
+    SPJ query exactly like the in-memory original, on all engines."""
+    from repro import persist
+
+    db = _database(105)
+    path = str(tmp_path / "db.fdbp")
+    persist.save(db, path)
+    reloaded = persist.load(path)
+    queries = _queries(db, 205, 15)
+    with QuerySession(reloaded) as session, SQLiteEngine(
+        reloaded
+    ) as sqlite:
+        for index, query in enumerate(queries):
+            order, expected = fdb_rows(db, query)
+            context = f"reloaded db, query {index}: {query}"
+            assert session.run(query).rows() == expected, context
+            assert (
+                flat_rows(reloaded, query, order) == expected
+            ), context
+            assert (
+                sqlite_rows(sqlite, reloaded, query, order) == expected
+            ), context
+
+
+@pytest.mark.parametrize("strategy", ["hash", "round_robin"])
+def test_saved_then_reloaded_sharded_parallel_agrees(
+    tmp_path, strategy
+):
+    """A sharded database reloaded from its per-shard files + manifest
+    must agree through the ParallelExecutor union path as well."""
+    from repro import persist
+
+    db = _database(106)
+    sharded = ShardedDatabase.from_database(
+        db, shards=3, strategy=strategy
+    )
+    path = str(tmp_path / "sharded")
+    persist.save(sharded, path)
+    reloaded = persist.load(path)
+    assert isinstance(reloaded, ShardedDatabase)
+    queries = _queries(db, 206, 12)
+    executor = ParallelExecutor(max_workers=3)
+    with QuerySession(
+        reloaded, executor=executor, check_invariants=True
+    ) as session:
+        results = session.run_batch(queries)
+        for index, (query, result) in enumerate(zip(queries, results)):
+            _, expected = fdb_rows(db, query)
+            context = (
+                f"reloaded sharded ({strategy}), query {index}: {query}"
+            )
+            assert result.rows() == expected, context
+
+
 def test_session_fallback_path_agrees():
     """Forcing the explosion fallback must not change results."""
     db = _database(55)

@@ -229,3 +229,61 @@ def test_sharding_a_random_database_roundtrips():
                 set(sdb.shard(i)[name].rows) for i in range(4)
             ]
             assert set().union(*parts) == merged
+
+
+@pytest.mark.parametrize("strategy", PARTITION_STRATEGIES)
+def test_extend_rows_matches_full_repartition(strategy):
+    """The hash append fast path must land every row exactly where a
+    from-scratch repartition would (round-robin takes the full
+    rebuild, so it is covered by the same equivalence)."""
+    db = random_database(
+        relations=3, attributes=6, tuples=25, domain=9, seed=11
+    )
+    sdb = ShardedDatabase.from_database(db, shards=4, strategy=strategy)
+    arity = len(sdb["R0"].attributes)
+    new_rows = [
+        tuple(200 + i + j for j in range(arity)) for i in range(9)
+    ]
+    new_rows.append(sdb["R0"].rows[0])  # duplicate: set semantics
+    before = sdb.version
+    sdb.extend_rows("R0", new_rows)
+    assert sdb.version == before + 1
+    reference = ShardedDatabase.from_database(
+        sdb, shards=4, strategy=strategy
+    )
+    for index in range(4):
+        assert (
+            sdb.shard(index)["R0"].rows
+            == reference.shard(index)["R0"].rows
+        )
+    # Untouched relations keep their partitions too.
+    for index in range(4):
+        assert (
+            sdb.shard(index)["R1"].rows
+            == reference.shard(index)["R1"].rows
+        )
+
+
+def test_extend_rows_fast_path_touches_only_affected_shards():
+    """Appending one row must leave the other shards' partition
+    objects untouched (the point of the fast path: no full rebuild)."""
+    db = random_database(
+        relations=2, attributes=4, tuples=30, domain=9, seed=13
+    )
+    sdb = ShardedDatabase.from_database(db, shards=4, strategy="hash")
+    from repro.storage.sharded import stable_row_hash
+
+    arity = len(sdb["R0"].attributes)
+    row = tuple(900 + j for j in range(arity))
+    target = stable_row_hash(row) % 4
+    parts_before = {
+        i: sdb.shard(i)["R0"] for i in range(4)
+    }
+    sdb.extend_rows("R0", [row])
+    for i in range(4):
+        if i == target:
+            assert row in sdb.shard(i)["R0"].rows
+            assert sdb.shard(i)["R0"] is not parts_before[i]
+        else:
+            # Identity preserved: the partition was not rebuilt.
+            assert sdb.shard(i)["R0"] is parts_before[i]
