@@ -99,7 +99,11 @@ def _print_result(fr, flat: bool, limit: int) -> None:
 
 def cmd_query(args: argparse.Namespace) -> int:
     db = _load(args.csv)
-    fdb = FDB(db, plan_search=args.planner)
+    fdb = FDB(
+        db,
+        plan_search=args.planner,
+        encoding="arena" if args.arena else "object",
+    )
     query = parse_query(args.query)
     start = time.perf_counter()
     fr = fdb.evaluate(query)
@@ -179,6 +183,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         executor=executor,
         cache_size=args.cache_size,
         plan_store=plan_store,
+        encoding="arena" if args.arena else "object",
     )
     start = time.perf_counter()
     try:
@@ -205,6 +210,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
     if isinstance(db, ShardedDatabase):
         layout.append(f"{db.shard_count} shards ({db.strategy})")
     layout.append(session.executor.describe())
+    if args.arena:
+        layout.append("arena encoding")
     print(
         f"{len(results)} queries in {elapsed:.4f}s "
         f"({len(results) / max(elapsed, 1e-9):.1f} q/s) "
@@ -377,6 +384,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="CSV relation files (header row = attribute names)",
         )
 
+    def add_arena(p):
+        p.add_argument(
+            "--arena",
+            action="store_true",
+            help="evaluate in the flat columnar arena encoding "
+            "(identical answers, faster hot paths)",
+        )
+
     q = sub.add_parser("query", help="evaluate an SPJ query")
     add_csv(q)
     q.add_argument("query")
@@ -385,6 +400,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["exhaustive", "greedy"],
         default="exhaustive",
     )
+    add_arena(q)
     q.add_argument(
         "--flat", action="store_true", help="print flat rows"
     )
@@ -411,6 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["exhaustive", "greedy"],
         default="exhaustive",
     )
+    add_arena(b)
     b.add_argument(
         "--engine",
         choices=["auto", "fdb", "flat", "sqlite"],

@@ -6,6 +6,8 @@ This subpackage is the paper's primary contribution surface:
   hypergraph, path constraint and normalisation predicate (Section 2);
 - :mod:`repro.core.frep` -- structured f-representations (products of
   value-sorted unions aligned to an f-tree);
+- :mod:`repro.core.arena` -- the flat, columnar arena encoding of the
+  same representations (interned values + offset-range columns);
 - :mod:`repro.core.expr` -- the Definition-1 expression AST;
 - :mod:`repro.core.build` -- factorising flat data over an f-tree;
 - :mod:`repro.core.enumerate` -- constant-delay tuple enumeration;
@@ -16,7 +18,8 @@ This subpackage is the paper's primary contribution surface:
 """
 
 from repro.core import aggregate, serialize
-from repro.core.build import Factoriser, factorise
+from repro.core.arena import ArenaRep, from_product, to_product
+from repro.core.build import ArenaFactoriser, Factoriser, factorise
 from repro.core.enumerate import iter_assignments, iter_rows
 from repro.core.expr import expression_of
 from repro.core.factorised import FactorisedRelation
@@ -27,11 +30,15 @@ from repro.core.validate import validate, validate_relation, validate_tree
 
 __all__ = [
     "aggregate",
+    "ArenaFactoriser",
+    "ArenaRep",
     "expression_of",
+    "from_product",
     "serialize",
     "factorise",
     "FactorisedRelation",
     "Factoriser",
+    "to_product",
     "FNode",
     "FRepError",
     "FTree",

@@ -25,11 +25,15 @@ as the ``sum``/``avg``/``min``/``max``/``count_distinct``/
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.core import arena as _arena
+from repro.core.arena import ArenaRep
 from repro.core.frep import ProductRep, UnionRep
 from repro.core.ftree import FNode
 from repro.core.size import tuple_count
+
+Rep = Union[ProductRep, ArenaRep]
 
 
 class AggregateError(ValueError):
@@ -40,7 +44,7 @@ class AggregateError(ValueError):
 _CountSum = Tuple[int, float]
 
 
-def count(nodes: Sequence[FNode], product: Optional[ProductRep]) -> int:
+def count(nodes: Sequence[FNode], product: Optional[Rep]) -> int:
     """``COUNT(*)`` -- alias of :func:`repro.core.size.tuple_count`."""
     return tuple_count(nodes, product)
 
@@ -82,12 +86,14 @@ def _count_sum_union(
 
 def sum_of(
     nodes: Sequence[FNode],
-    product: Optional[ProductRep],
+    product: Optional[Rep],
     attribute: str,
 ) -> float:
     """``SUM(attribute)`` over all represented tuples."""
     if product is None:
         return 0.0
+    if isinstance(product, ArenaRep):
+        return _arena.sum_of(product, attribute)
     if not any(attribute in n.subtree_attributes() for n in nodes):
         raise AggregateError(f"unknown attribute {attribute!r}")
     return _count_sum_forest(nodes, product, attribute)[1]
@@ -95,12 +101,14 @@ def sum_of(
 
 def average(
     nodes: Sequence[FNode],
-    product: Optional[ProductRep],
+    product: Optional[Rep],
     attribute: str,
 ) -> Optional[float]:
     """``AVG(attribute)``; ``None`` on the empty relation."""
     if product is None:
         return None
+    if isinstance(product, ArenaRep):
+        return _arena.average(product, attribute)
     total_count, total_sum = _count_sum_forest(
         nodes, product, attribute
     )
@@ -111,12 +119,14 @@ def average(
 
 def _extreme(
     nodes: Sequence[FNode],
-    product: Optional[ProductRep],
+    product: Optional[Rep],
     attribute: str,
     minimum: bool,
 ):
     if product is None:
         return None
+    if isinstance(product, ArenaRep):
+        return _arena.extreme(product, attribute, minimum)
     found: List[object] = []
 
     def walk(ns: Sequence[FNode], prod: ProductRep) -> None:
@@ -152,12 +162,14 @@ def max_of(nodes, product, attribute: str):
 
 def count_distinct(
     nodes: Sequence[FNode],
-    product: Optional[ProductRep],
+    product: Optional[Rep],
     attribute: str,
 ) -> int:
     """``COUNT(DISTINCT attribute)``."""
     if product is None:
         return 0
+    if isinstance(product, ArenaRep):
+        return _arena.count_distinct(product, attribute)
     values: set = set()
 
     def walk(ns: Sequence[FNode], prod: ProductRep) -> None:
@@ -184,7 +196,7 @@ def count_distinct(
 
 def group_count(
     nodes: Sequence[FNode],
-    product: Optional[ProductRep],
+    product: Optional[Rep],
     attribute: str,
 ) -> Dict[object, int]:
     """``SELECT attribute, COUNT(*) GROUP BY attribute``.
@@ -195,6 +207,8 @@ def group_count(
     """
     if product is None:
         return {}
+    if isinstance(product, ArenaRep):
+        return _arena.group_count(product, attribute)
     out: Dict[object, int] = {}
 
     def walk(

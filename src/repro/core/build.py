@@ -23,13 +23,17 @@ Tuples that violate an intra-relation class equality (two attributes of
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
+from repro.core.arena import ArenaRep, ArenaWriter
 from repro.core.ftree import FNode, FTree, FTreeError
 from repro.core.frep import ProductRep, UnionRep, merge_sorted_values
 from repro.relational.relation import Relation
 
 _Context = Dict[FrozenSet[str], object]
+
+#: Physical encodings :func:`factorise` can produce.
+ENCODINGS = ("object", "arena")
 
 
 class _Source:
@@ -165,8 +169,69 @@ class Factoriser:
         return UnionRep(entries)
 
 
+class ArenaFactoriser(Factoriser):
+    """Factorise straight into the arena encoding.
+
+    Shares the pre-indexing and candidate intersection of
+    :class:`Factoriser` but appends entries into flat integer columns
+    (:class:`~repro.core.arena.ArenaWriter`) instead of allocating one
+    Python object per union entry: children are written first, and an
+    entry whose children forest comes up empty is rolled back by
+    truncating the descendant columns -- the exact analogue of the
+    object builder's eager pruning, so both encodings always hold the
+    same representation.
+    """
+
+    def run(self) -> Optional[ArenaRep]:  # type: ignore[override]
+        """Compute the arena representation; ``None`` when empty."""
+        writer = ArenaWriter(self.tree)
+        if not self._emit_forest(self.tree.roots, {}, writer):
+            return None
+        return writer.finish()
+
+    def _emit_forest(
+        self,
+        nodes: Sequence[FNode],
+        context: _Context,
+        writer: ArenaWriter,
+    ) -> bool:
+        for node in nodes:
+            if not self._emit_union(node, context, writer):
+                return False
+        return True
+
+    def _emit_union(
+        self, node: FNode, context: _Context, writer: ArenaWriter
+    ) -> bool:
+        idx = writer.index[node.label]
+        if not node.children:
+            # Leaf fast path: the whole union is the candidate list.
+            leaf_values = self._candidates(node, context)
+            writer.extend_leaf(idx, leaf_values)
+            return bool(leaf_values)
+        before = writer.entry_count(idx)
+        for value in self._candidates(node, context):
+            context[node.label] = value
+            marks = writer.mark(idx)
+            ok = self._emit_forest(node.children, context, writer)
+            del context[node.label]
+            if ok:
+                writer.commit(idx, value, marks)
+            else:
+                writer.rollback(idx, marks)
+        return writer.entry_count(idx) > before
+
+
 def factorise(
-    relations: Sequence[Relation], tree: FTree
-) -> Optional[ProductRep]:
-    """One-shot convenience wrapper around :class:`Factoriser`."""
-    return Factoriser(relations, tree).run()
+    relations: Sequence[Relation],
+    tree: FTree,
+    encoding: str = "object",
+) -> Optional[Union[ProductRep, ArenaRep]]:
+    """One-shot factorisation in the requested physical encoding."""
+    if encoding == "object":
+        return Factoriser(relations, tree).run()
+    if encoding == "arena":
+        return ArenaFactoriser(relations, tree).run()
+    raise ValueError(
+        f"unknown encoding {encoding!r}; pick one of {ENCODINGS}"
+    )

@@ -10,13 +10,16 @@ never materialises the flat relation.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.core import arena as _arena
+from repro.core.arena import ArenaRep
 from repro.core.ftree import FNode
 from repro.core.frep import ProductRep, UnionRep
 
 Assignment = Dict[str, object]
 _Unit = Tuple[FNode, UnionRep]
+Rep = Union[ProductRep, ArenaRep]
 
 
 def _walk(units: List[_Unit], partial: Assignment) -> Iterator[None]:
@@ -42,14 +45,19 @@ def _walk(units: List[_Unit], partial: Assignment) -> Iterator[None]:
 
 
 def iter_assignments(
-    nodes: Sequence[FNode], product: Optional[ProductRep]
+    nodes: Sequence[FNode], product: Optional[Rep]
 ) -> Iterator[Assignment]:
     """Yield every tuple of the representation as an attr->value dict.
 
     Tuples come out in the lexicographic order induced by the canonical
-    node order and the sorted unions, so the output is deterministic.
+    node order and the sorted unions, so the output is deterministic --
+    identical for both physical encodings (an arena dispatches to its
+    columnar walk, which visits entries in the same DFS order).
     """
     if product is None:
+        return
+    if isinstance(product, ArenaRep):
+        yield from _arena.iter_assignments(product)
         return
     partial: Assignment = {}
     units = list(zip(nodes, product.factors))
@@ -59,11 +67,14 @@ def iter_assignments(
 
 def iter_rows(
     nodes: Sequence[FNode],
-    product: Optional[ProductRep],
+    product: Optional[Rep],
     attributes: Sequence[str],
 ) -> Iterator[tuple]:
     """Yield tuples projected onto ``attributes`` in the given order."""
     if product is None:
+        return
+    if isinstance(product, ArenaRep):
+        yield from _arena.iter_rows(product, attributes)
         return
     partial: Assignment = {}
     units = list(zip(nodes, product.factors))

@@ -1,16 +1,35 @@
 """The user-facing factorised relation: an f-tree plus its data.
 
 A :class:`FactorisedRelation` bundles an :class:`~repro.core.ftree.
-FTree` with the structured representation over it (``None`` encodes the
-empty relation) and offers the logical-layer view of Section 1: the
-relation *is* a relation -- it can be enumerated, counted, compared and
-exported flat -- while the physical layer stays factorised.
+FTree` with a representation over it (``None`` encodes the empty
+relation) and offers the logical-layer view of Section 1: the relation
+*is* a relation -- it can be enumerated, counted, compared and exported
+flat -- while the physical layer stays factorised.
+
+Two physical encodings back the same logical relation:
+
+- the **object** encoding (:class:`~repro.core.frep.ProductRep` /
+  ``UnionRep`` trees) -- what the f-plan operators rewrite;
+- the **arena** encoding (:class:`~repro.core.arena.ArenaRep`) -- flat
+  interned-value and offset-range columns for the hot paths (build,
+  count, size, enumeration, aggregates, near-verbatim serialisation).
+
+Construct with ``data=`` for the object encoding or ``arena=`` for the
+arena; :attr:`encoding` names the primary one.  Conversion is lazy in
+both directions: reading :attr:`data` on an arena-backed relation
+materialises (and caches) the object form, so every existing operator
+keeps working unchanged -- this is the transparent arena->object
+adapter the f-plan operators (swap, merge, absorb, normalise) rely on
+-- and reading :attr:`arena` on an object-backed relation builds the
+columns.  All logical-view methods run on the primary encoding.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.core import arena as arena_mod
+from repro.core.arena import ArenaRep
 from repro.core.enumerate import Assignment, iter_assignments, iter_rows
 from repro.core.expr import Expression, Empty, expression_of
 from repro.core.frep import ProductRep
@@ -18,6 +37,28 @@ from repro.core.ftree import FTree
 from repro.core.size import data_elements, representation_size, tuple_count
 from repro.core.validate import validate_relation
 from repro.relational.relation import Relation
+
+#: The physical encodings a relation can be backed by.
+ENCODINGS = ("object", "arena")
+
+
+class _Unset:
+    """Sentinel for a not-yet-materialised encoding (pickle-stable)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unset>"
+
+    def __reduce__(self):
+        return (_unset, ())
+
+
+def _unset() -> "_Unset":
+    return _UNSET
+
+
+_UNSET = _Unset()
 
 
 class FactorisedRelation:
@@ -33,15 +74,66 @@ class FactorisedRelation:
     3
     >>> fr.size()  # 2 a-singletons + 3 b-singletons
     5
+    >>> fa = fr.to_arena()
+    >>> (fa.encoding, fa.count(), fa.size())
+    ('arena', 3, 5)
     """
 
-    __slots__ = ("tree", "data")
+    __slots__ = ("tree", "_object", "_arena", "_primary")
 
     def __init__(
-        self, tree: FTree, data: Optional[ProductRep]
+        self,
+        tree: FTree,
+        data: Union[Optional[ProductRep], "_Unset"] = _UNSET,
+        *,
+        arena: Union[Optional[ArenaRep], "_Unset"] = _UNSET,
     ) -> None:
+        if data is _UNSET and arena is _UNSET:
+            raise ValueError(
+                "FactorisedRelation needs data= (object encoding) "
+                "or arena= (arena encoding)"
+            )
         self.tree = tree
-        self.data = data
+        self._object = data
+        self._arena = arena
+        self._primary = "object" if data is not _UNSET else "arena"
+
+    # -- encodings -----------------------------------------------------------
+
+    @property
+    def encoding(self) -> str:
+        """The primary physical encoding ("object" or "arena")."""
+        return self._primary
+
+    @property
+    def data(self) -> Optional[ProductRep]:
+        """The object encoding (materialised from the arena on demand)."""
+        if self._object is _UNSET:
+            self._object = arena_mod.to_product(self._arena)
+        return self._object  # type: ignore[return-value]
+
+    @property
+    def arena(self) -> Optional[ArenaRep]:
+        """The arena encoding (materialised from the objects on demand)."""
+        if self._arena is _UNSET:
+            self._arena = arena_mod.from_product(self.tree, self._object)
+        return self._arena  # type: ignore[return-value]
+
+    def to_arena(self) -> "FactorisedRelation":
+        """This relation with the arena as primary encoding."""
+        if self._primary == "arena":
+            return self
+        return FactorisedRelation(self.tree, arena=self.arena)
+
+    def to_object(self) -> "FactorisedRelation":
+        """This relation with the objects as primary encoding."""
+        if self._primary == "object":
+            return self
+        return FactorisedRelation(self.tree, self.data)
+
+    def _active(self):
+        """The primary representation (what the logical view runs on)."""
+        return self._arena if self._primary == "arena" else self._object
 
     # -- relational view -----------------------------------------------------
 
@@ -51,29 +143,29 @@ class FactorisedRelation:
         return tuple(sorted(self.tree.attributes()))
 
     def is_empty(self) -> bool:
-        return self.data is None
+        return self._active() is None
 
     def size(self) -> int:
         """Representation size ``|E|``: the number of singletons."""
-        return representation_size(self.tree.roots, self.data)
+        return representation_size(self.tree.roots, self._active())
 
     def count(self) -> int:
         """Number of represented tuples, without enumeration."""
-        return tuple_count(self.tree.roots, self.data)
+        return tuple_count(self.tree.roots, self._active())
 
     def flat_data_elements(self) -> int:
         """Size of the *flat* equivalent in data elements."""
-        return data_elements(self.tree.roots, self.data)
+        return data_elements(self.tree.roots, self._active())
 
     def __iter__(self) -> Iterator[Assignment]:
-        return iter_assignments(self.tree.roots, self.data)
+        return iter_assignments(self.tree.roots, self._active())
 
     def rows(
         self, attributes: Optional[Sequence[str]] = None
     ) -> Iterator[tuple]:
         """Iterate tuples projected onto ``attributes`` (default all)."""
         order = self.attributes if attributes is None else tuple(attributes)
-        return iter_rows(self.tree.roots, self.data, order)
+        return iter_rows(self.tree.roots, self._active(), order)
 
     def to_relation(self, name: str = "flat") -> Relation:
         """Materialise the flat relation (use with care on big data)."""
@@ -91,34 +183,34 @@ class FactorisedRelation:
         """``SUM(attribute)`` over all represented tuples."""
         from repro.core import aggregate
 
-        return aggregate.sum_of(self.tree.roots, self.data, attribute)
+        return aggregate.sum_of(self.tree.roots, self._active(), attribute)
 
     def avg(self, attribute: str) -> Optional[float]:
         """``AVG(attribute)``; ``None`` on the empty relation."""
         from repro.core import aggregate
 
         return aggregate.average(
-            self.tree.roots, self.data, attribute
+            self.tree.roots, self._active(), attribute
         )
 
     def min(self, attribute: str):
         """``MIN(attribute)``; ``None`` on the empty relation."""
         from repro.core import aggregate
 
-        return aggregate.min_of(self.tree.roots, self.data, attribute)
+        return aggregate.min_of(self.tree.roots, self._active(), attribute)
 
     def max(self, attribute: str):
         """``MAX(attribute)``; ``None`` on the empty relation."""
         from repro.core import aggregate
 
-        return aggregate.max_of(self.tree.roots, self.data, attribute)
+        return aggregate.max_of(self.tree.roots, self._active(), attribute)
 
     def count_distinct(self, attribute: str) -> int:
         """``COUNT(DISTINCT attribute)``."""
         from repro.core import aggregate
 
         return aggregate.count_distinct(
-            self.tree.roots, self.data, attribute
+            self.tree.roots, self._active(), attribute
         )
 
     def group_count(self, attribute: str):
@@ -126,7 +218,7 @@ class FactorisedRelation:
         from repro.core import aggregate
 
         return aggregate.group_count(
-            self.tree.roots, self.data, attribute
+            self.tree.roots, self._active(), attribute
         )
 
     # -- comparisons and checks ----------------------------------------------
@@ -149,7 +241,15 @@ class FactorisedRelation:
         return set(self.rows(order)) == flat
 
     def validate(self) -> "FactorisedRelation":
-        """Check all structural invariants; returns self for chaining."""
+        """Check all structural invariants; returns self for chaining.
+
+        An arena primary is checked twice: the cheap arena-level bounds
+        and order checks, then the full object-level validation on the
+        (lazily converted) object form -- correctness never forks
+        between the encodings.
+        """
+        if self._arena is not _UNSET:
+            arena_mod.validate_arena(self.tree, self._arena)
         validate_relation(self.tree, self.data)
         return self
 
@@ -162,9 +262,15 @@ class FactorisedRelation:
     def __repr__(self) -> str:
         return (
             f"FactorisedRelation(attrs={list(self.attributes)}, "
-            f"size={self.size()}, tuples={self.count()})"
+            f"size={self.size()}, tuples={self.count()}, "
+            f"encoding={self.encoding})"
         )
 
     def copy(self) -> "FactorisedRelation":
-        data = None if self.data is None else self.data.copy()
+        if self._primary == "arena":
+            rep = self._arena
+            return FactorisedRelation(
+                self.tree, arena=None if rep is None else rep.copy()
+            )
+        data = None if self._object is None else self._object.copy()
         return FactorisedRelation(self.tree, data)

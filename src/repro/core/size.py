@@ -5,22 +5,34 @@ singletons (each node entry contributes one singleton per attribute in
 the node's label).  ``tuple_count`` evaluates how many flat tuples the
 representation denotes -- computed by sum/product recursion without
 enumerating them, which is what makes factorised counting cheap.
+
+Both measures accept either physical encoding: the object
+``ProductRep`` trees are walked recursively, while an
+:class:`~repro.core.arena.ArenaRep` dispatches to the columnar kernels
+(``|E|`` becomes O(#nodes) column-length arithmetic; counting becomes
+per-column segment sums).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
+from repro.core import arena as _arena
+from repro.core.arena import ArenaRep
 from repro.core.ftree import FNode
 from repro.core.frep import ProductRep, UnionRep
 
+Rep = Union[ProductRep, ArenaRep]
+
 
 def representation_size(
-    nodes: Sequence[FNode], product: Optional[ProductRep]
+    nodes: Sequence[FNode], product: Optional[Rep]
 ) -> int:
     """Number of singletons in the representation (``None`` = empty)."""
     if product is None:
         return 0
+    if isinstance(product, ArenaRep):
+        return _arena.representation_size(product)
     total = 0
     for node, union in zip(nodes, product.factors):
         total += _union_size(node, union)
@@ -37,11 +49,13 @@ def _union_size(node: FNode, union: UnionRep) -> int:
 
 
 def tuple_count(
-    nodes: Sequence[FNode], product: Optional[ProductRep]
+    nodes: Sequence[FNode], product: Optional[Rep]
 ) -> int:
     """Number of distinct tuples represented (0 for empty)."""
     if product is None:
         return 0
+    if isinstance(product, ArenaRep):
+        return _arena.tuple_count(product)
     total = 1
     for node, union in zip(nodes, product.factors):
         total *= _union_count(node, union)
@@ -58,7 +72,7 @@ def _union_count(node: FNode, union: UnionRep) -> int:
 
 
 def data_elements(
-    nodes: Sequence[FNode], product: Optional[ProductRep]
+    nodes: Sequence[FNode], product: Optional[Rep]
 ) -> int:
     """Flat-result size in data elements: #tuples x #attributes.
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from repro import ops
-from repro.core.build import factorise
+from repro.core.build import ENCODINGS, factorise
 from repro.core.factorised import FactorisedRelation
 from repro.core.ftree import FTree
 from repro.optimiser.exhaustive import exhaustive_fplan
@@ -46,6 +46,11 @@ class FDB:
     check_invariants:
         When true, every produced representation is validated against
         the structural invariants (for tests and debugging).
+    encoding:
+        Physical encoding of produced representations: ``"object"``
+        (``ProductRep`` trees) or ``"arena"`` (the flat columnar
+        encoding of :mod:`repro.core.arena`; same relations, faster
+        build/count/enumerate hot paths).
 
     >>> from repro.relational import Database
     >>> from repro.query import parse_query
@@ -66,11 +71,16 @@ class FDB:
         check_invariants: bool = False,
         cost_model: str = "asymptotic",
         statistics=None,
+        encoding: str = "object",
     ) -> None:
         if plan_search not in ("exhaustive", "greedy"):
             raise ValueError(f"unknown plan search {plan_search!r}")
         if cost_model not in ("asymptotic", "estimates"):
             raise ValueError(f"unknown cost model {cost_model!r}")
+        if encoding not in ENCODINGS:
+            raise ValueError(
+                f"unknown encoding {encoding!r}; pick one of {ENCODINGS}"
+            )
         if statistics is not None and cost_model != "estimates":
             raise ValueError(
                 "statistics only apply with cost_model='estimates'"
@@ -79,6 +89,7 @@ class FDB:
         self.plan_search = plan_search
         self.check_invariants = check_invariants
         self.cost_model = cost_model
+        self.encoding = encoding
         # ``statistics`` lets a session share one catalogue across
         # engines instead of rescanning the database per engine.
         self._stats = statistics
@@ -116,7 +127,11 @@ class FDB:
                 if cond.attribute in relation.schema:
                     relation = flat_select(relation, cond)
             relations.append(relation)
-        fr = FactorisedRelation(tree, factorise(relations, tree))
+        data = factorise(relations, tree, encoding=self.encoding)
+        if self.encoding == "arena":
+            fr = FactorisedRelation(tree, arena=data)
+        else:
+            fr = FactorisedRelation(tree, data)
         for cond in query.constants:
             if cond.op == "=":
                 fr = ops.select_constant(fr, cond)

@@ -134,6 +134,7 @@ class ParallelExecutor(Executor):
                         session.plan_search,
                         session.cost_model,
                         session.check_invariants,
+                        session.encoding,
                     ),
                 )
                 pool.submit(worker.ping).result(timeout=60)
@@ -193,6 +194,7 @@ class ParallelExecutor(Executor):
                 session.check_invariants,
                 query,
                 tree,
+                session.encoding,
             )
         )
 
@@ -213,6 +215,7 @@ class ParallelExecutor(Executor):
                 tree,
                 index,
                 fanout,
+                session.encoding,
             )
         )
 

@@ -35,15 +35,18 @@ def init_worker(
     plan_search: str,
     cost_model: str,
     check_invariants: bool,
+    encoding: str = "object",
 ) -> None:
     """Pool initializer: build one engine per worker process."""
     _STATE["database"] = database
     _STATE["check_invariants"] = check_invariants
+    _STATE["encoding"] = encoding
     _STATE["engine"] = FDB(
         database,
         plan_search=plan_search,
         cost_model=cost_model,
         check_invariants=check_invariants,
+        encoding=encoding,
     )
 
 
@@ -78,6 +81,7 @@ def execute_task(
         bool(_STATE["check_invariants"]),
         query,
         tree,
+        str(_STATE.get("encoding", "object")),
     )
 
 
@@ -92,6 +96,7 @@ def shard_task(
         tree,
         index,
         fanout,
+        str(_STATE.get("encoding", "object")),
     )
 
 
@@ -117,11 +122,17 @@ def compile_direct(
 
 
 def evaluate_full(
-    database, check_invariants: bool, query: Query, tree: FTree
+    database,
+    check_invariants: bool,
+    query: Query,
+    tree: FTree,
+    encoding: str = "object",
 ) -> FactorisedRelation:
     """Evaluate one query over the full database: factorised join over
     the precompiled tree, constants inside, projection applied."""
-    engine = FDB(database, check_invariants=check_invariants)
+    engine = FDB(
+        database, check_invariants=check_invariants, encoding=encoding
+    )
     fr = engine.factorise_query(query, tree=tree)
     if query.projection is not None:
         fr = ops.project(fr, query.projection)
@@ -137,6 +148,7 @@ def evaluate_shard(
     tree: FTree,
     index: int,
     fanout: str,
+    encoding: str = "object",
 ) -> FactorisedRelation:
     """Evaluate one query over one shard view, **without** projection.
 
@@ -144,7 +156,9 @@ def evaluate_shard(
     :mod:`repro.ops.union`); the coordinator applies it once.
     """
     view = database.shard_view(index, fanout)
-    engine = FDB(view, check_invariants=check_invariants)
+    engine = FDB(
+        view, check_invariants=check_invariants, encoding=encoding
+    )
     return engine.factorise_query(query, tree=tree)
 
 

@@ -53,6 +53,10 @@ class Exp3Row:
     fdb_time_seconds: float
     rdb_time_seconds: float
     sqlite_time_seconds: float
+    #: Plan fixed, evaluation only: factorise + report size and count,
+    #: in the object encoding vs the columnar arena encoding.
+    fdb_object_eval_seconds: float = DNF
+    fdb_arena_eval_seconds: float = DNF
 
 
 def _measure_fdb(db: Database, query: Query) -> (float, float):
@@ -61,6 +65,36 @@ def _measure_fdb(db: Database, query: Query) -> (float, float):
     fr = fdb.evaluate(query)
     elapsed = time.perf_counter() - start
     return float(fr.size()), elapsed, fr
+
+
+def _measure_encodings(db: Database, query: Query) -> (float, float):
+    """Per-encoding evaluation time with the optimiser factored out.
+
+    Both encodings evaluate the same fixed f-tree (the optimal one) and
+    then report size and count -- exactly what every Figure 7 cell
+    needs -- so the pair isolates the physical-encoding cost the arena
+    exists to cut.  Raises AssertionError if the encodings ever
+    disagree on those measures (they must not).
+    """
+    object_engine = FDB(db)
+    tree = object_engine.optimal_tree(query)
+
+    start = time.perf_counter()
+    fr = object_engine.factorise_query(query, tree=tree)
+    object_size, object_count = fr.size(), fr.count()
+    object_seconds = time.perf_counter() - start
+
+    arena_engine = FDB(db, encoding="arena")
+    start = time.perf_counter()
+    fa = arena_engine.factorise_query(query, tree=tree)
+    arena_size, arena_count = fa.size(), fa.count()
+    arena_seconds = time.perf_counter() - start
+
+    assert (object_size, object_count) == (arena_size, arena_count), (
+        f"encodings disagree on {query}: "
+        f"{(object_size, object_count)} != {(arena_size, arena_count)}"
+    )
+    return object_seconds, arena_seconds
 
 
 def _measure_rdb(
@@ -134,6 +168,7 @@ def run_experiment3(
                     ),
                 )
                 fdb_size, fdb_time, fr = _measure_fdb(db, query)
+                object_eval, arena_eval = _measure_encodings(db, query)
                 flat_size, rdb_time = _measure_rdb(
                     db, query, timeout, max_rows
                 )
@@ -159,6 +194,8 @@ def run_experiment3(
                         fdb_time_seconds=fdb_time,
                         rdb_time_seconds=rdb_time,
                         sqlite_time_seconds=sqlite_time,
+                        fdb_object_eval_seconds=object_eval,
+                        fdb_arena_eval_seconds=arena_eval,
                     )
                 )
         if include_combinatorial:
@@ -173,6 +210,7 @@ def run_experiment3(
                     ),
                 )
                 fdb_size, fdb_time, fr = _measure_fdb(db, query)
+                object_eval, arena_eval = _measure_encodings(db, query)
                 flat_size, rdb_time = _measure_rdb(
                     db, query, timeout, max_rows
                 )
@@ -195,6 +233,8 @@ def run_experiment3(
                         fdb_time_seconds=fdb_time,
                         rdb_time_seconds=rdb_time,
                         sqlite_time_seconds=sqlite_time,
+                        fdb_object_eval_seconds=object_eval,
+                        fdb_arena_eval_seconds=arena_eval,
                     )
                 )
     return rows
@@ -211,6 +251,8 @@ def headers() -> List[str]:
         "FDB t[s]",
         "RDB t[s]",
         "SQLite t[s]",
+        "obj eval[s]",
+        "arena eval[s]",
     ]
 
 
@@ -226,6 +268,8 @@ def as_cells(rows: Iterable[Exp3Row]) -> List[List[object]]:
             row.fdb_time_seconds,
             row.rdb_time_seconds,
             row.sqlite_time_seconds,
+            row.fdb_object_eval_seconds,
+            row.fdb_arena_eval_seconds,
         ]
         for row in rows
     ]

@@ -17,12 +17,21 @@ Projection proceeds in three phases, following the paper:
    dependence survives (the A - B - C example of Section 3.4).
 3. **Normalisation**, since the structural changes may enable pushing
    subtrees up.
+
+Arena-backed inputs take a columnar fast path when the projection
+removes *whole subtrees* and keeps every remaining label intact (the
+common "root prefix" shape): the surviving columns transfer verbatim
+(:func:`repro.core.arena.drop_subtrees`) and no swaps are needed.  The
+fast path skips the final normalisation pass -- a pure representation
+choice; the denoted relation is identical.  Every other projection
+falls back to the object path via the lazy ``data`` adapter.
 """
 
 from __future__ import annotations
 
-from typing import AbstractSet, List, Sequence
+from typing import AbstractSet, List, Optional, Sequence
 
+from repro.core import arena as arena_mod
 from repro.core.factorised import FactorisedRelation
 from repro.core.frep import ProductRep, UnionRep
 from repro.core.ftree import FNode, FTree
@@ -134,6 +143,55 @@ def project_tree(tree: FTree, attributes: Sequence[str]) -> FTree:
     return project(placeholder, attributes).tree
 
 
+def _arena_subtree_drop(
+    fr: FactorisedRelation, keep: AbstractSet[str]
+) -> Optional[FactorisedRelation]:
+    """The arena fast path: drop whole subtrees, keep columns verbatim.
+
+    Applies only when every node label is fully kept or fully dropped
+    and no kept node sits below a dropped one; returns ``None``
+    otherwise (the caller falls back to the object path).
+    """
+    tree = fr.tree
+    dropped_roots: List[FNode] = []
+    dropped_all: List[FNode] = []
+    for node in tree.iter_nodes():
+        kept_attrs = node.label & keep
+        if kept_attrs and node.label - keep:
+            return None  # partial label: needs phase-1 reduction
+        if not kept_attrs:
+            if node.subtree_attributes() & keep:
+                return None  # kept node below a dropped one: needs swaps
+            parent = tree.parent_of(node)
+            dropped_all.append(node)
+            if parent is None or parent.label & keep:
+                dropped_roots.append(node)
+    if not dropped_all:
+        return fr
+    arena = fr.arena
+    if arena is None:
+        return None  # empty relations keep the object tree path
+    # Edges: the same merges the object path performs when it drops
+    # the subtree leaf by leaf, deepest first.
+    edges = tree.edges
+    for node in sorted(
+        dropped_all,
+        key=lambda n: len(tree.ancestors(n)),
+        reverse=True,
+    ):
+        edges = edges.merge_edges_touching(node.label)
+    new_tree = tree
+    for node in dropped_roots:
+        new_tree = new_tree.replace_node(node.label, [])
+    new_tree = new_tree.with_edges(edges)
+    skel = arena.skel
+    dropped_ids = [skel.index[node.label] for node in dropped_roots]
+    return FactorisedRelation(
+        new_tree,
+        arena=arena_mod.drop_subtrees(arena, new_tree, dropped_ids),
+    )
+
+
 def project(
     fr: FactorisedRelation, attributes: Sequence[str]
 ) -> FactorisedRelation:
@@ -144,6 +202,10 @@ def project(
         raise OperatorError(
             f"cannot project onto unknown attributes {sorted(unknown)}"
         )
+    if fr.encoding == "arena" and not fr.is_empty():
+        fast = _arena_subtree_drop(fr, keep)
+        if fast is not None:
+            return fast
     current = _reduce_labels(fr, keep)
 
     # Phase 2: eliminate fully-marked nodes, bottom-most first.

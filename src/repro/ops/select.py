@@ -10,12 +10,19 @@ values equal ``c``, so it is independent of every other node -- its
 attributes are removed from the dependency edges, the node is marked
 ``constant`` (ignored by ``s(T)``), and a normalisation pass floats it
 towards the root, as described at the end of Section 3.3.
+
+Arena-backed inputs take a columnar fast path for the non-equality
+comparisons (the tree is unchanged, so the filter is a pure data
+kernel: :func:`repro.core.arena.select_filter`); equality selections
+restructure the tree and run through the object encoding, which the
+lazy ``data`` adapter materialises transparently.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from repro.core import arena as arena_mod
 from repro.core.factorised import FactorisedRelation
 from repro.core.frep import ProductRep, UnionRep
 from repro.core.ftree import FNode, FTree
@@ -44,8 +51,23 @@ def select_constant(
     """Apply ``sigma_{A theta c}`` to a factorised relation."""
     tree = fr.tree
     node = tree.node_of(cond.attribute)
-    if fr.data is None:
-        return FactorisedRelation(select_constant_tree(tree, cond), None)
+    if fr.is_empty():
+        empty_tree = select_constant_tree(tree, cond)
+        if fr.encoding == "arena":
+            return FactorisedRelation(empty_tree, arena=None)
+        return FactorisedRelation(empty_tree, None)
+
+    if fr.encoding == "arena" and cond.op != "=":
+        # Non-equality selections leave the tree untouched, so the
+        # whole operator is the columnar filter kernel.
+        filtered = arena_mod.select_filter(
+            fr.arena, cond.attribute, cond.test
+        )
+        if filtered is None:
+            return FactorisedRelation(
+                select_constant_tree(tree, cond), arena=None
+            )
+        return FactorisedRelation(tree, arena=filtered)
 
     anchor = cond.attribute
 

@@ -34,6 +34,13 @@ relation, so the payload of a ``factorised`` blob is simply the
 structured representation walked depth-first -- no further compression
 pass is applied (see ``benchmarks/bench_persist.py`` for the size
 comparison against the flat CSV equivalent).
+
+An *arena*-encoded representation (:mod:`repro.core.arena`) gets its
+own blob kind: the interned value pool is tag-encoded once, and the
+per-node integer columns are written as raw little-endian int64 byte
+runs.  Loading is therefore ~O(bytes) -- ``array.frombytes`` plus a
+bounds check -- instead of an object-graph rebuild, which is the point
+of persisting query results in the hot encoding.
 """
 
 from __future__ import annotations
@@ -43,10 +50,14 @@ import json
 import os
 import shutil
 import struct
+import sys
 import tempfile
 import zlib
+from array import array
 from typing import Any, BinaryIO, Dict, List, Optional, Tuple
 
+from repro.core import arena as arena_mod
+from repro.core.arena import ArenaRep
 from repro.core.factorised import FactorisedRelation
 from repro.core.frep import ProductRep, UnionRep
 from repro.core.ftree import FNode, FTree
@@ -67,6 +78,7 @@ KINDS = (
     "ftree",
     "fplan",
     "factorised",
+    "arena",
     "plan-entry",
     "shard-manifest",
 )
@@ -589,6 +601,122 @@ def _decode_factorised(payload: bytes) -> FactorisedRelation:
     return fr
 
 
+# -- arena-encoded factorised relations --------------------------------------
+#
+# Columns are array('q') (exactly 8-byte signed on every CPython
+# platform); the file format fixes little-endian so blobs are portable
+# across hosts.
+
+_BIG_ENDIAN = sys.byteorder == "big"
+
+
+def _write_i64_column(out: BinaryIO, column: array) -> None:
+    _write_varint(out, len(column))
+    if _BIG_ENDIAN:  # pragma: no cover - little-endian dev machines
+        column = array("q", column)
+        column.byteswap()
+    out.write(column.tobytes())
+
+
+def _read_i64_column(src: BinaryIO) -> array:
+    count = _read_varint(src)
+    data = src.read(8 * count)
+    if len(data) != 8 * count:
+        raise PersistError("truncated arena column")
+    column = array("q")
+    column.frombytes(data)
+    if _BIG_ENDIAN:  # pragma: no cover
+        column.byteswap()
+    return column
+
+
+def _encode_arena(fr: FactorisedRelation) -> Tuple[Dict[str, Any], bytes]:
+    out = io.BytesIO()
+    tree_bytes = _encode_ftree(fr.tree)
+    _write_varint(out, len(tree_bytes))
+    out.write(tree_bytes)
+    rep = fr.arena
+    if rep is None:
+        out.write(bytes((0,)))
+        payload = out.getvalue()
+        return (
+            {
+                "attributes": list(fr.attributes),
+                "empty": True,
+                "singletons": 0,
+                "encoding": "arena",
+            },
+            payload,
+        )
+    out.write(bytes((1,)))
+    _write_varint(out, len(rep.pool))
+    for value in rep.pool:
+        write_value(out, value)
+    skel = rep.skel
+    _write_varint(out, len(skel))
+    for i in range(len(skel)):
+        _write_i64_column(out, rep.values[i])
+        for j in range(len(skel.children[i])):
+            _write_i64_column(out, rep.child_lo[i][j])
+            _write_i64_column(out, rep.child_hi[i][j])
+    header = {
+        "attributes": list(fr.attributes),
+        "empty": False,
+        "singletons": rep.singleton_count(),
+        "encoding": "arena",
+    }
+    return header, out.getvalue()
+
+
+def _decode_arena(payload: bytes) -> FactorisedRelation:
+    src = io.BytesIO(payload)
+    tree_len = _read_varint(src)
+    tree_bytes = src.read(tree_len)
+    if len(tree_bytes) != tree_len:
+        raise PersistError("truncated arena-relation tree")
+    tree = _decode_ftree(tree_bytes)
+    flag = src.read(1)
+    if not flag:
+        raise PersistError("truncated arena payload")
+    if flag[0] == 0:
+        if src.read(1):
+            raise PersistError("arena payload has trailing bytes")
+        return FactorisedRelation(tree, arena=None)
+    pool = [read_value(src) for _ in range(_read_varint(src))]
+    skel = arena_mod._skeleton_of(tree)
+    node_count = _read_varint(src)
+    if node_count != len(skel):
+        raise PersistError(
+            f"arena payload has {node_count} node columns for a "
+            f"{len(skel)}-node f-tree"
+        )
+    values: List[array] = []
+    child_lo: List[List[array]] = []
+    child_hi: List[List[array]] = []
+    for i in range(node_count):
+        values.append(_read_i64_column(src))
+        los: List[array] = []
+        his: List[array] = []
+        for _ in skel.children[i]:
+            los.append(_read_i64_column(src))
+            his.append(_read_i64_column(src))
+        child_lo.append(los)
+        child_hi.append(his)
+    if src.read(1):
+        raise PersistError("arena payload has trailing bytes")
+    rep = ArenaRep(skel, values, child_lo, child_hi, pool)
+    # Flat integer bounds scans only (vectorised under numpy): loading
+    # stays ~O(bytes).  Value-order validation is available explicitly
+    # via FactorisedRelation.validate().
+    try:
+        arena_mod.validate_arena_bounds(tree, rep)
+    except ValueError as exc:
+        raise PersistError(
+            f"persisted arena violates its invariants: {exc}"
+        ) from exc
+    return FactorisedRelation(tree, arena=rep)
+
+
 # -- sharded databases (per-shard files + manifest) --------------------------
 
 
@@ -755,6 +883,11 @@ def encode(obj: object) -> Tuple[str, Dict[str, Any], bytes]:
         header, payload = _encode_fplan(obj)
         return "fplan", header, payload
     if isinstance(obj, FactorisedRelation):
+        # The blob kind follows the relation's primary encoding, so
+        # arena-evaluated results reload straight into their columns.
+        if obj.encoding == "arena":
+            header, payload = _encode_arena(obj)
+            return "arena", header, payload
         header, payload = _encode_factorised(obj)
         return "factorised", header, payload
     raise PersistError(
@@ -775,6 +908,8 @@ def decode(kind: str, header: Dict[str, Any], payload: bytes) -> object:
             return _decode_fplan(payload)
         if kind == "factorised":
             return _decode_factorised(payload)
+        if kind == "arena":
+            return _decode_arena(payload)
     except PersistError:
         raise
     except (ValueError, KeyError, TypeError) as exc:

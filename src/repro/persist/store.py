@@ -27,6 +27,12 @@ store as write-through backing (see ``QuerySession.lookup_plan`` /
 Concurrent use is safe in the usual cache sense: writes go through a
 unique temporary file plus an atomic rename, readers see either the
 whole entry or none, and a lost race merely costs a recompile.
+
+The store can be *bounded* (``max_entries`` / ``max_bytes``): every
+insert runs a garbage collection that evicts least-recently-used
+entries (recency = file mtime; hits touch the file) until the bounds
+hold again, so a long-lived store under an unbounded query stream
+stays a cache instead of growing into an archive.
 """
 
 from __future__ import annotations
@@ -70,6 +76,16 @@ def _key_digest(query: Query, fingerprint: str) -> str:
 class PlanStore:
     """Compiled plans on disk, shared across sessions and processes.
 
+    Parameters
+    ----------
+    path:
+        Directory holding the entries (created if missing).
+    max_entries / max_bytes:
+        Optional size bounds.  When an insert pushes the store past
+        either bound, least-recently-used entries (by file mtime;
+        lookups refresh it) are deleted until both hold.  ``None``
+        (the default) keeps the store unbounded.
+
     >>> import tempfile
     >>> from repro.relational.database import Database
     >>> from repro.query.query import Query
@@ -86,13 +102,29 @@ class PlanStore:
     True
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(
+        self,
+        path: str,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be positive or None, got {max_entries}"
+            )
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(
+                f"max_bytes must be positive or None, got {max_bytes}"
+            )
         self.path = path
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
         os.makedirs(path, exist_ok=True)
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self.stale_evictions = 0
+        self.gc_evictions = 0
 
     # -- addressing --------------------------------------------------------
 
@@ -140,6 +172,7 @@ class PlanStore:
             return None
         tree = codec.decode("ftree", {}, payload)
         self.hits += 1
+        self._touch(path)
         return tree  # type: ignore[return-value]
 
     def put(
@@ -167,12 +200,61 @@ class PlanStore:
                 os.unlink(tmp)
             raise
         self.writes += 1
+        self.collect()
 
     def _evict(self, path: str) -> None:
         try:
             os.unlink(path)
         except FileNotFoundError:
             pass
+
+    @staticmethod
+    def _touch(path: str) -> None:
+        """Refresh an entry's recency (LRU clock = file mtime)."""
+        try:
+            os.utime(path, None)
+        except OSError:  # pragma: no cover - entry raced away
+            pass
+
+    # -- garbage collection ------------------------------------------------
+
+    def _stat_entries(self) -> List[tuple]:
+        """(mtime, name, bytes) per entry, least recently used first."""
+        out = []
+        for name in self.entries():
+            try:
+                stat = os.stat(os.path.join(self.path, name))
+            except OSError:  # racing eviction by another process
+                continue
+            out.append((stat.st_mtime, name, stat.st_size))
+        out.sort()
+        return out
+
+    def total_bytes(self) -> int:
+        """Bytes currently held by the store's entries."""
+        return sum(size for _, _, size in self._stat_entries())
+
+    def collect(self) -> int:
+        """Enforce the size bounds; returns how many entries were
+        evicted.  Runs automatically after every :meth:`put`."""
+        if self.max_entries is None and self.max_bytes is None:
+            return 0
+        entries = self._stat_entries()
+        total = sum(size for _, _, size in entries)
+        removed = 0
+        while entries and (
+            (
+                self.max_entries is not None
+                and len(entries) > self.max_entries
+            )
+            or (self.max_bytes is not None and total > self.max_bytes)
+        ):
+            _, name, size = entries.pop(0)
+            self._evict(os.path.join(self.path, name))
+            total -= size
+            removed += 1
+        self.gc_evictions += removed
+        return removed
 
     # -- introspection -----------------------------------------------------
 
@@ -201,6 +283,7 @@ class PlanStore:
             "misses": self.misses,
             "writes": self.writes,
             "stale_evictions": self.stale_evictions,
+            "gc_evictions": self.gc_evictions,
             "size": len(self),
         }
 

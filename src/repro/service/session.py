@@ -179,8 +179,11 @@ class QuerySession:
         store.  Sessions watch its
         :attr:`~repro.relational.database.Database.version` and drop
         every cache when it moves.
-    plan_search / cost_model:
-        Forwarded to :class:`~repro.engine.FDB`.
+    plan_search / cost_model / encoding:
+        Forwarded to :class:`~repro.engine.FDB`.  ``encoding="arena"``
+        evaluates factorised results in the flat columnar encoding of
+        :mod:`repro.core.arena` (``repro batch --arena`` on the CLI);
+        answers are identical, the hot paths faster.
     fallback_budget:
         Estimated-singleton threshold above which ``auto`` queries are
         routed to the flat engine; ``None`` disables the fallback.
@@ -228,10 +231,12 @@ class QuerySession:
         executor: Optional[Executor] = None,
         cache_size: Optional[int] = None,
         plan_store: Optional["PlanStore"] = None,
+        encoding: str = "object",
     ) -> None:
         self.database = database
         self.plan_search = plan_search
         self.cost_model = cost_model
+        self.encoding = encoding
         self.fallback_budget = fallback_budget
         self.budget = budget
         self.check_invariants = check_invariants
@@ -271,6 +276,7 @@ class QuerySession:
             check_invariants=self.check_invariants,
             cost_model=self.cost_model,
             statistics=shared,
+            encoding=self.encoding,
         )
         self._flat = RelationalEngine(self.database, budget=self.budget)
         self.executor.invalidate()

@@ -228,3 +228,69 @@ def test_session_fallback_path_agrees():
         assert result.engine == "flat"
         assert result.rows() == expected
     assert session.stats.fallbacks == len(queries)
+
+
+def test_arena_engine_path_agrees():
+    """The arena-encoded engine joins the harness (PR-1 policy): same
+    seeded random SPJ batches, exactly the same answers as the object
+    encoding, the flat engine and SQLite."""
+    db = _database(107)
+    queries = _queries(db, 207, 20)
+    with QuerySession(
+        db, encoding="arena", check_invariants=True
+    ) as session, SQLiteEngine(db) as sqlite:
+        for index, query in enumerate(queries):
+            order, expected = fdb_rows(db, query)
+            context = f"arena engine, query {index}: {query}"
+            assert session.run(query).rows() == expected, context
+            assert flat_rows(db, query, order) == expected, context
+            assert (
+                sqlite_rows(sqlite, db, query, order) == expected
+            ), context
+
+
+@pytest.mark.parametrize("strategy", ["hash", "round_robin"])
+def test_arena_sharded_parallel_path_agrees(strategy):
+    """Arena encoding through the sharded + parallel union path."""
+    db = _database(108)
+    sharded = ShardedDatabase.from_database(
+        db, shards=3, strategy=strategy
+    )
+    queries = _queries(db, 208, 15)
+    executor = ParallelExecutor(max_workers=3)
+    with QuerySession(
+        sharded,
+        executor=executor,
+        encoding="arena",
+        check_invariants=True,
+    ) as session:
+        results = session.run_batch(queries)
+        for index, (query, result) in enumerate(zip(queries, results)):
+            _, expected = fdb_rows(db, query)
+            context = (
+                f"arena sharded ({strategy}), query {index}: {query}"
+            )
+            assert result.rows() == expected, context
+
+
+def test_arena_saved_then_reloaded_results_agree(tmp_path):
+    """Factorised results that went to disk as arena blobs answer
+    follow-up reads exactly like the in-memory originals."""
+    from repro import persist
+
+    db = _database(109)
+    queries = _queries(db, 209, 10)
+    with QuerySession(db, encoding="arena") as session:
+        for index, query in enumerate(queries):
+            result = session.run(query, engine="fdb")
+            fr = result.factorised
+            if fr is None or fr.encoding != "arena":
+                continue
+            path = str(tmp_path / f"result-{index}.fdbp")
+            persist.save(fr, path)
+            reloaded = persist.load(path)
+            _, expected = fdb_rows(db, query)
+            order = reloaded.attributes
+            assert (
+                sorted(set(reloaded.rows(order))) == expected
+            ), f"reloaded arena result, query {index}: {query}"

@@ -579,3 +579,214 @@ def test_saved_database_plus_plan_store_cross_process_shape(tmp_path):
         assert warm.stats.store_hits == len(
             {q.canonical_key() for q in queries}
         )
+
+
+# -- plan store size bounds / GC ---------------------------------------------
+
+
+def _distinct_queries(db, count, seed=31):
+    """``count`` canonically distinct queries over ``db``."""
+    out, seen = [], set()
+    offset = 0
+    while len(out) < count:
+        for query in random_spj_queries(
+            db, count, seed=seed + offset, max_relations=3,
+            max_equalities=2,
+        ):
+            key = query.canonical_key()
+            if key not in seen:
+                seen.add(key)
+                out.append(query)
+                if len(out) == count:
+                    break
+        offset += 1
+    return out
+
+
+def _spread_mtimes(store):
+    """Give the entries strictly increasing, well-separated mtimes so
+    LRU ordering is deterministic on coarse-grained filesystems."""
+    base = 1_000_000_000
+    for i, name in enumerate(store.entries()):
+        path = os.path.join(store.path, name)
+        os.utime(path, (base + i, base + i))
+
+
+def test_plan_store_max_entries_evicts_least_recently_used(tmp_path):
+    db = random_database(4, 8, 6, domain=5, seed=41)
+    queries = _distinct_queries(db, 4)
+    fdb = FDB(db)
+    store = PlanStore(str(tmp_path / "plans"), max_entries=3)
+    for query in queries[:3]:
+        store.put(query, db, fdb.optimal_tree(query))
+    assert len(store) == 3
+    _spread_mtimes(store)
+    oldest = store.entries()[0]
+
+    # A lookup refreshes recency: touch what would otherwise be evicted.
+    victim_order = sorted(
+        store.entries(),
+        key=lambda n: os.stat(os.path.join(store.path, n)).st_mtime,
+    )
+    assert victim_order[0] == oldest
+    for query in queries[:3]:
+        if store._entry_path(
+            query, schema_fingerprint(db)
+        ).endswith(oldest):
+            assert store.get(query, db) is not None  # promotes it
+            break
+
+    store.put(queries[3], db, fdb.optimal_tree(queries[3]))
+    assert len(store) == 3  # bound held
+    assert store.gc_evictions == 1
+    assert oldest in store.entries()  # the touched entry survived
+
+
+def test_plan_store_max_bytes_bound(tmp_path):
+    db = random_database(4, 8, 6, domain=5, seed=43)
+    queries = _distinct_queries(db, 3, seed=47)
+    fdb = FDB(db)
+    unbounded = PlanStore(str(tmp_path / "probe"))
+    for query in queries:
+        unbounded.put(query, db, fdb.optimal_tree(query))
+    per_entry = unbounded.total_bytes() // len(unbounded)
+
+    store = PlanStore(
+        str(tmp_path / "plans"), max_bytes=2 * per_entry + per_entry // 2
+    )
+    for query in queries:
+        store.put(query, db, fdb.optimal_tree(query))
+        _spread_mtimes(store)
+    assert store.total_bytes() <= store.max_bytes
+    assert len(store) == 2
+    assert store.gc_evictions == 1
+    # Survivors still serve their plans.
+    served = sum(
+        1 for query in queries if store.get(query, db) is not None
+    )
+    assert served == 2
+
+
+def test_plan_store_bound_validation(tmp_path):
+    with pytest.raises(ValueError, match="max_entries"):
+        PlanStore(str(tmp_path / "a"), max_entries=0)
+    with pytest.raises(ValueError, match="max_bytes"):
+        PlanStore(str(tmp_path / "b"), max_bytes=-1)
+
+
+def test_plan_store_gc_counter_in_counters(tmp_path):
+    db = random_database(3, 6, 6, domain=5, seed=51)
+    queries = _distinct_queries(db, 2, seed=53)
+    fdb = FDB(db)
+    store = PlanStore(str(tmp_path / "plans"), max_entries=1)
+    store.put(queries[0], db, fdb.optimal_tree(queries[0]))
+    _spread_mtimes(store)
+    store.put(queries[1], db, fdb.optimal_tree(queries[1]))
+    counters = store.counters()
+    assert counters["gc_evictions"] == 1
+    assert counters["size"] == 1
+
+
+def test_bounded_store_under_a_session_keeps_serving(tmp_path):
+    """A tight bound degrades hit rate, never correctness."""
+    db = random_database(4, 8, 6, domain=5, seed=57)
+    queries = _distinct_queries(db, 5, seed=61)
+    store = PlanStore(str(tmp_path / "plans"), max_entries=2)
+    with QuerySession(db, plan_store=store) as session:
+        expected = [r.rows() for r in session.run_batch(queries)]
+    assert len(store) <= 2
+    with QuerySession(db, plan_store=PlanStore(store.path)) as warm:
+        got = [r.rows() for r in warm.run_batch(queries)]
+    assert got == expected
+
+
+# -- arena blobs -------------------------------------------------------------
+
+
+def _arena_join_result():
+    db = Database()
+    db.add_rows(
+        "Orders", ("oid", "o_key"), [(i, i % 5) for i in range(40)]
+    )
+    db.add_rows(
+        "Listings", ("l_key", "price"), [(i % 5, 100 + i) for i in range(40)]
+    )
+    query = parse_query(
+        "SELECT * FROM Orders, Listings WHERE o_key = l_key"
+    )
+    return FDB(db, encoding="arena").evaluate(query)
+
+
+def test_arena_relation_round_trip(tmp_path):
+    fr = _arena_join_result()
+    assert fr.encoding == "arena"
+    path = str(tmp_path / "result.fdbp")
+    save(fr, path)
+    assert inspect(path)["kind"] == "arena"
+    loaded = load(path)
+    assert loaded.encoding == "arena"
+    assert loaded.tree == fr.tree
+    assert list(loaded.rows()) == list(fr.rows())
+    assert loaded.count() == fr.count()
+    loaded.validate()
+
+
+def test_arena_blob_agrees_with_object_blob(tmp_path):
+    """The same relation through both blob kinds decodes equal."""
+    fr = _arena_join_result()
+    arena_path = str(tmp_path / "arena.fdbp")
+    object_path = str(tmp_path / "object.fdbp")
+    save(fr, arena_path)
+    save(fr.to_object(), object_path)
+    assert inspect(object_path)["kind"] == "factorised"
+    left, right = load(arena_path), load(object_path)
+    assert list(left.rows()) == list(right.rows())
+    assert left.data == right.data  # lazy conversion meets objects
+
+
+def test_empty_arena_relation_round_trip(tmp_path):
+    fr = _arena_join_result()
+    empty = FactorisedRelation(fr.tree, arena=None)
+    path = str(tmp_path / "empty.fdbp")
+    save(empty, path)
+    loaded = load(path)
+    assert loaded.encoding == "arena"
+    assert loaded.is_empty()
+    assert loaded.tree == fr.tree
+
+
+def test_corrupt_arena_payload_raises(tmp_path):
+    fr = _arena_join_result()
+    path = str(tmp_path / "result.fdbp")
+    save(fr, path)
+    with open(path, "rb") as handle:
+        data = bytearray(handle.read())
+    data[-4] ^= 0xFF  # flip a byte inside a column
+    with open(path, "wb") as handle:
+        handle.write(bytes(data))
+    with pytest.raises(PersistError):
+        load(path)
+
+
+def test_tampered_arena_columns_fail_bounds_check(tmp_path):
+    """Even with a recomputed checksum, out-of-range offsets must be
+    rejected by the O(bytes) bounds validation."""
+    import io
+    import zlib
+
+    from repro.persist import codec
+
+    fr = _arena_join_result()
+    kind, header, payload = codec.encode(fr)
+    assert kind == "arena"
+    # Corrupt the last column byte (a child_hi offset) and re-frame
+    # with a fresh CRC so only the bounds check can catch it.
+    bad = bytearray(payload)
+    bad[-1] = 0x7F
+    out = io.BytesIO()
+    codec.write_blob(out, "arena", header, bytes(bad))
+    out.seek(0)
+    read_kind, read_header, read_payload = read_blob(out)
+    assert zlib.crc32(read_payload) == zlib.crc32(bytes(bad))
+    with pytest.raises(PersistError, match="invariants"):
+        codec.decode(read_kind, read_header, read_payload)

@@ -317,3 +317,20 @@ def test_session_context_manager_closes_sqlite(db):
         assert result.engine == "sqlite"
         assert session._sqlite is not None
     assert session._sqlite is None
+
+
+def test_session_arena_encoding_serves_and_caches(db):
+    with QuerySession(db, encoding="arena") as session:
+        cold = session.run(parse_query(JOIN))
+        warm = session.run(parse_query(JOIN))
+        assert cold.factorised is not None
+        assert cold.factorised.encoding == "arena"
+        assert not cold.cached and warm.cached
+        assert cold.rows() == warm.rows()
+    with QuerySession(db) as reference:
+        assert reference.run(parse_query(JOIN)).rows() == cold.rows()
+
+
+def test_session_rejects_unknown_encoding(db):
+    with pytest.raises(ValueError, match="encoding"):
+        QuerySession(db, encoding="columnar")
