@@ -226,6 +226,7 @@ def test_arena_hot_paths(tmp_path):
             "load_speedup": load_speedup,
             "memory_reduction": memory_reduction,
         },
+        workload=_params(),
     )
 
     # Acceptance floors (not timed at smoke scale; the >= 2x headline

@@ -126,6 +126,7 @@ def test_persist_warm_start_beats_cold_compile(tmp_path):
             "store_hits": warm_stats.store_hits,
             "store_writes": populate_stats.store_misses,
         },
+        workload=_params(),
     )
 
     # Correctness: the warm path returns identical results.
@@ -206,6 +207,7 @@ def test_persist_factorised_smaller_than_flat_csv(tmp_path):
             "save_seconds": save_seconds,
             "load_seconds": load_seconds,
         },
+        workload=p,
     )
 
     # Structural, not timing-dependent: asserted at every scale.

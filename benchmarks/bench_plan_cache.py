@@ -132,6 +132,7 @@ def test_plan_cache_warm_speedup(benchmark):
             "plan_hits": stats.plan_hits,
             "batch_deduped": batch_stats.batch_deduped,
         },
+        workload=_params(),
     )
 
     # Correctness first: all three paths agree on every result.

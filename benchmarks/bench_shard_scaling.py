@@ -151,6 +151,7 @@ def test_shard_scaling_throughput():
                 times[serial_label] / max(best_parallel, 1e-9)
             ),
         },
+        workload=p,
     )
 
     # Correctness first: every configuration returns the same answers.

@@ -67,20 +67,33 @@ def _jsonable(value):
     return repr(value)
 
 
-def bench_json(name: str, payload: dict) -> str:
+#: Version of the BENCH_*.json document layout itself.  Bump when the
+#: stamping below changes shape; ``scripts/bench_diff.py`` refuses to
+#: compare documents whose schema versions differ.
+BENCH_SCHEMA = 2
+
+
+def bench_json(name: str, payload: dict, workload: dict = None) -> str:
     """Write ``BENCH_<name>.json`` next to the human output.
 
     The directory defaults to the current working directory and can be
-    redirected with ``FDB_BENCH_JSON_DIR``.  Every document carries the
-    scale it ran at (timings at smoke scale are not comparable with
-    default/full runs) and enough platform context to interpret the
-    numbers; returns the path written.
+    redirected with ``FDB_BENCH_JSON_DIR``.  Every document carries
+    schema/provenance stamps -- the bench name, the scale it ran at
+    (timings at smoke scale are not comparable with default/full
+    runs), the python version, the platform, and the
+    :data:`BENCH_SCHEMA` document version -- so a cross-PR diff can
+    tell "the metric moved" apart from "this is a different experiment
+    entirely".  ``workload`` optionally pins the workload *shape*
+    (query counts, relation sizes, client counts): two documents whose
+    workloads differ are never metric-compared, they are reported as a
+    mismatch by ``scripts/bench_diff.py``.  Returns the path written.
     """
     directory = os.environ.get("FDB_BENCH_JSON_DIR", ".")
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"BENCH_{name}.json")
     document = {
         "benchmark": name,
+        "bench_schema": BENCH_SCHEMA,
         "scale": (
             "smoke"
             if smoke_mode()
@@ -91,6 +104,8 @@ def bench_json(name: str, payload: dict) -> str:
         "platform": platform.platform(),
         **_jsonable(payload),
     }
+    if workload is not None:
+        document["workload"] = _jsonable(workload)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -23,8 +23,13 @@ Metric classes
 - **environment-bound** (informational): memory footprints, which vary
   with the interpreter version.
 
-Documents whose ``scale`` fields differ (e.g. a smoke baseline against
-a full run) are skipped entirely -- their numbers are not comparable.
+Documents whose provenance stamps differ -- ``scale`` (a smoke
+baseline against a full run), ``workload`` (different experiment
+shape), ``bench_schema`` (different document layout) or ``benchmark``
+-- are skipped entirely, with the mismatching stamps reported, so a
+diff can never silently compare two different experiments.  A python
+version difference is reported as an informational note only (CI runs
+a version matrix against one committed baseline).
 
 Usage::
 
@@ -45,7 +50,21 @@ import sys
 from typing import Dict, Iterator, List, Tuple
 
 #: Keys that never carry comparable measurements.
-IGNORED_KEYS = {"unix_time", "python", "platform", "scale", "benchmark"}
+IGNORED_KEYS = {
+    "unix_time",
+    "python",
+    "platform",
+    "scale",
+    "benchmark",
+    "bench_schema",
+    "workload",
+}
+
+#: Provenance keys that must agree before any metric is compared; a
+#: mismatch means the two documents describe different experiments
+#: (different workload shape, document schema or bench identity), so
+#: diffing their numbers would be silently meaningless.
+PROVENANCE_KEYS = ("benchmark", "bench_schema", "scale", "workload")
 
 #: Substrings marking a metric as timing-derived (informational unless
 #: --strict-timing).  Speedups are ratios *of timings*, so they inherit
@@ -155,6 +174,18 @@ def compare_documents(
     return regressions, notes
 
 
+def provenance_mismatches(baseline: Dict, current: Dict) -> List[str]:
+    """Human-readable reasons these two documents are incomparable
+    (empty when their provenance stamps agree)."""
+    reasons: List[str] = []
+    for key in PROVENANCE_KEYS:
+        base_value = baseline.get(key)
+        curr_value = current.get(key)
+        if base_value != curr_value:
+            reasons.append(f"{key}: {base_value!r} vs {curr_value!r}")
+    return reasons
+
+
 def load_documents(directory: str) -> Dict[str, Dict]:
     out: Dict[str, Dict] = {}
     if not os.path.isdir(directory):
@@ -200,12 +231,20 @@ def main(argv: List[str] = None) -> int:
     compared = 0
     for name in shared:
         base, curr = baseline_docs[name], current_docs[name]
-        if base.get("scale") != curr.get("scale"):
+        mismatches = provenance_mismatches(base, curr)
+        if mismatches:
             print(
-                f"bench-diff: skipping {name}: scales differ "
-                f"({base.get('scale')} vs {curr.get('scale')})"
+                f"bench-diff: skipping {name}: provenance mismatch "
+                f"(the runs describe different experiments):"
             )
+            for reason in mismatches:
+                print(f"    {reason}")
             continue
+        if base.get("python") != curr.get("python"):
+            print(
+                f"  note: {name}: python {base.get('python')} vs "
+                f"{curr.get('python')} [environment, informational]"
+            )
         regressions, notes = compare_documents(
             name, base, curr, args.threshold, args.strict_timing
         )

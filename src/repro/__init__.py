@@ -25,6 +25,8 @@ f-representations), :mod:`repro.ops` (f-plan operators),
 :mod:`repro.service` (plan-cached query sessions for repeated
 traffic), :mod:`repro.persist` (durable databases, serialised
 factorised results and the cross-process plan store),
+:mod:`repro.net` (the TCP serving tier: wire protocol, asyncio
+server, client library, multi-host shard execution),
 :mod:`repro.workloads` (Section 5 data generators).
 """
 

@@ -2,12 +2,16 @@
 
 Subcommands:
 
-- ``query``      evaluate an SQL-like SPJ query over CSV relations,
-                 printing the factorised result (or flat rows);
+- ``query``      evaluate an SQL-like SPJ query over CSV relations --
+                 or, with ``--connect``, on a remote server;
 - ``batch``      run many queries through one plan-cached
                  :class:`~repro.service.QuerySession` (optionally
                  against a saved database, ``--db``, with a disk-backed
-                 plan store, ``--plan-store``);
+                 plan store, ``--plan-store``; ``--connect`` sends the
+                 batch to a remote server instead);
+- ``serve``      expose a session over TCP (:mod:`repro.net`): arena
+                 encoding and a plan store by default, pipelined
+                 clients, graceful drain on SIGINT/SIGTERM;
 - ``save``       persist a (possibly sharded) database in the binary
                  FDBP format;
 - ``load``       inspect a persisted file and optionally query it;
@@ -46,6 +50,7 @@ from repro.experiments import (
     run_experiment4,
 )
 from repro.exec import ParallelExecutor, SerialExecutor
+from repro.net.protocol import DEFAULT_PORT
 from repro.query.parser import parse_query
 from repro.relational.budget import Budget, BudgetExceeded
 from repro.relational.csvio import load_database
@@ -98,6 +103,8 @@ def _print_result(fr, flat: bool, limit: int) -> None:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
+    if args.connect:
+        return _cmd_query_remote(args)
     db = _load(args.csv)
     fdb = FDB(
         db,
@@ -110,6 +117,92 @@ def cmd_query(args: argparse.Namespace) -> int:
     elapsed = time.perf_counter() - start
     _print_result(fr, args.flat, args.limit)
     print(f"evaluated in {elapsed:.4f}s")
+    return 0
+
+
+def _cmd_query_remote(args: argparse.Namespace) -> int:
+    from repro.net import NetError, RemoteSession
+
+    try:
+        with RemoteSession(args.connect) as client:
+            start = time.perf_counter()
+            result = client.run(parse_query(args.query))
+            elapsed = time.perf_counter() - start
+            if result.factorised is not None:
+                _print_result(result.factorised, args.flat, args.limit)
+            else:
+                rows = result.rows()
+                print(f"{', '.join(result.attributes)}")
+                for i, row in enumerate(rows):
+                    if i >= args.limit:
+                        print(f"... ({len(rows)} rows)")
+                        break
+                    print(" ", row)
+            host, port = client.address
+            print(
+                f"evaluated in {elapsed:.4f}s on {host}:{port} "
+                f"(engine {result.engine}, server-side "
+                f"{result.elapsed:.4f}s)"
+            )
+    except NetError as exc:
+        raise SystemExit(f"remote query failed: {exc}")
+    return 0
+
+
+def _cmd_batch_remote(args: argparse.Namespace) -> int:
+    from repro.net import NetError, RemoteSession
+
+    queries = [parse_query(stmt) for stmt in _read_batch_queries(args)]
+    queries = queries * args.repeat
+    try:
+        with RemoteSession(args.connect) as client:
+            start = time.perf_counter()
+            results = client.run_batch(queries, engine=args.engine)
+            elapsed = time.perf_counter() - start
+            if args.verbose:
+                for i, result in enumerate(results):
+                    flag = (
+                        "dedup"
+                        if result.deduped
+                        else ("hit" if result.cached else "miss")
+                    )
+                    print(
+                        f"[{i:3d}] {result.engine:6s} {flag:5s} "
+                        f"{result.count():8d} tuples  "
+                        f"{result.elapsed:.4f}s  {result.query}"
+                    )
+            host, port = client.address
+            info = client.server_info
+            print(
+                f"{len(results)} queries in {elapsed:.4f}s "
+                f"({len(results) / max(elapsed, 1e-9):.1f} q/s) "
+                f"[remote {host}:{port}, {info.get('encoding')} "
+                f"encoding]"
+            )
+            stats = client.stats()
+            sess = stats["session"]
+            print(
+                f"plans: {sess['plan_misses']} compiled, "
+                f"{sess['plan_hits']} cache hits, "
+                f"{sess['plan_evictions']} evicted, "
+                f"{sess['batch_deduped']} batch-deduplicated"
+            )
+            store = stats.get("plan_store")
+            if store is not None:
+                print(
+                    f"plan store: {sess['store_hits']} hits, "
+                    f"{sess['store_misses']} misses, "
+                    f"{store['writes']} written, "
+                    f"{store['stale_evictions']} stale-evicted"
+                )
+            srv = stats["server"]
+            print(
+                f"server: {srv['requests']} requests over "
+                f"{srv['connections']} connections, "
+                f"peak pending {srv['peak_pending']}"
+            )
+    except NetError as exc:
+        raise SystemExit(f"remote batch failed: {exc}")
     return 0
 
 
@@ -134,6 +227,8 @@ def _read_batch_queries(args: argparse.Namespace) -> List[str]:
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
+    if args.connect:
+        return _cmd_batch_remote(args)
     if args.shards < 1:
         raise SystemExit(f"--shards must be >= 1, got {args.shards}")
     if args.workers < 1:
@@ -241,6 +336,85 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.net.server import QueryServer
+
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    db = _load_database_arg(args)
+    if args.shards > 1 and not isinstance(db, ShardedDatabase):
+        db = ShardedDatabase.from_database(
+            db, shards=args.shards, strategy=args.strategy
+        )
+    executor = (
+        ParallelExecutor(max_workers=args.workers)
+        if args.workers > 1
+        else SerialExecutor()
+    )
+    # Warm starts by default: every served process shares compiled
+    # plans through the disk store (--plan-store '' disables).
+    plan_store = (
+        persist.PlanStore(args.plan_store) if args.plan_store else None
+    )
+    session = QuerySession(
+        db,
+        plan_search=args.planner,
+        fallback_budget=args.fallback_budget,
+        executor=executor,
+        cache_size=args.cache_size,
+        plan_store=plan_store,
+        encoding=args.encoding,
+    )
+
+    async def _main() -> int:
+        server = QueryServer(
+            session,
+            host=args.host,
+            port=args.port,
+            max_pending=args.max_pending,
+        )
+        await server.start()
+        host, port = server.address
+        shape = []
+        if isinstance(db, ShardedDatabase):
+            shape.append(f"{db.shard_count} shards ({db.strategy})")
+        shape.append(session.executor.describe())
+        shape.append(f"{args.encoding} encoding")
+        if plan_store is not None:
+            shape.append(f"plan store at {plan_store.path}")
+        print(
+            f"repro.net serving {len(db)} relations, "
+            f"{db.total_size} tuples on {host}:{port} "
+            f"[{', '.join(shape)}]",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        await stop.wait()
+        print("draining ...", flush=True)
+        await server.drain()
+        stats = server.stats
+        print(
+            f"drained: served {stats.requests} requests "
+            f"({stats.queries} queries, {stats.batches} batches) over "
+            f"{stats.connections} connections",
+            flush=True,
+        )
+        return 0
+
+    return asyncio.run(_main())
+
+
 def cmd_save(args: argparse.Namespace) -> int:
     if args.shards < 1:
         raise SystemExit(f"--shards must be >= 1, got {args.shards}")
@@ -266,7 +440,7 @@ def cmd_save(args: argparse.Namespace) -> int:
 def cmd_load(args: argparse.Namespace) -> int:
     try:
         info = persist.inspect(args.path)
-        loaded = persist.load(args.path)
+        loaded = persist.load(args.path, mmap=args.mmap)
     except persist.PersistError as exc:
         raise SystemExit(f"cannot load {args.path!r}: {exc}")
     print(f"kind: {info['kind']}")
@@ -392,8 +566,18 @@ def build_parser() -> argparse.ArgumentParser:
             "(identical answers, faster hot paths)",
         )
 
+    def add_connect(p):
+        p.add_argument(
+            "--connect",
+            default=None,
+            metavar="HOST:PORT",
+            help="evaluate on a running 'repro serve' server instead "
+            "of in-process (local data options are ignored)",
+        )
+
     q = sub.add_parser("query", help="evaluate an SPJ query")
     add_csv(q)
+    add_connect(q)
     q.add_argument("query")
     q.add_argument(
         "--planner",
@@ -412,6 +596,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run many queries through one plan-cached session",
     )
     add_csv(b)
+    add_connect(b)
     b.add_argument(
         "queries",
         nargs="?",
@@ -496,6 +681,81 @@ def build_parser() -> argparse.ArgumentParser:
     )
     b.set_defaults(func=cmd_batch)
 
+    srv = sub.add_parser(
+        "serve",
+        help="serve a session over TCP (repro.net query server)",
+    )
+    add_csv(srv)
+    srv.add_argument(
+        "--db",
+        default=None,
+        help="serve a database saved with 'repro save' (overrides "
+        "--csv; a sharded save keeps its layout and enables the "
+        "RemoteExecutor shard-worker protocol)",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help="TCP port (0 = ephemeral, printed on startup)",
+    )
+    srv.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition a --csv database over N shards",
+    )
+    srv.add_argument(
+        "--strategy",
+        choices=list(PARTITION_STRATEGIES),
+        default="hash",
+    )
+    srv.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="evaluate with a parallel executor over N pool workers",
+    )
+    srv.add_argument(
+        "--planner",
+        choices=["exhaustive", "greedy"],
+        default="exhaustive",
+    )
+    srv.add_argument(
+        "--encoding",
+        choices=["arena", "object"],
+        default="arena",
+        help="physical result encoding (default: arena, the hot one)",
+    )
+    srv.add_argument(
+        "--plan-store",
+        default=".repro-plans",
+        help="disk-backed plan store directory for cross-process warm "
+        "starts (default '.repro-plans'; pass '' to disable)",
+    )
+    srv.add_argument(
+        "--cache-size",
+        type=int,
+        default=None,
+        help="LRU bound on the in-memory plan caches",
+    )
+    srv.add_argument(
+        "--fallback-budget",
+        type=float,
+        default=None,
+        help="estimated-singleton cap before auto queries fall back "
+        "to the flat engine",
+    )
+    srv.add_argument(
+        "--max-pending",
+        type=int,
+        default=128,
+        help="admission bound: in-flight requests before the server "
+        "stops reading (TCP backpressure)",
+    )
+    srv.set_defaults(func=cmd_serve)
+
     sv = sub.add_parser(
         "save",
         help="persist a (possibly sharded) database in FDBP format",
@@ -519,6 +779,12 @@ def build_parser() -> argparse.ArgumentParser:
         "load", help="inspect (and query) a persisted FDBP file"
     )
     ld.add_argument("path")
+    ld.add_argument(
+        "--mmap",
+        action="store_true",
+        help="memory-map arena blobs (zero-copy column views) "
+        "instead of reading them",
+    )
     ld.add_argument(
         "--sql",
         nargs="+",

@@ -1,0 +1,41 @@
+"""The network tier: query serving over TCP.
+
+Turns the library into a service, the fourth layer of the stack
+(storage -> execution -> serving -> **network**):
+
+- :mod:`repro.net.protocol` -- the length-prefixed wire protocol;
+  FDBP-framed payloads mean results travel *factorised*;
+- :mod:`repro.net.server` -- the asyncio TCP server behind
+  ``repro serve`` (pipelining, admission backpressure, wave-coalesced
+  evaluation, graceful drain, ``STATS``);
+- :mod:`repro.net.client` -- the synchronous
+  :class:`~repro.net.client.RemoteSession`, mirroring
+  :class:`~repro.service.session.QuerySession`;
+- :mod:`repro.net.remote` -- :class:`~repro.net.remote.RemoteExecutor`,
+  fanning per-(query, shard) evaluation out over multiple hosts and
+  degrading to local execution when a worker is lost.
+"""
+
+from repro.net.client import NetError, RemoteSession, parse_address
+from repro.net.protocol import (
+    DEFAULT_MAX_FRAME,
+    DEFAULT_PORT,
+    PROTOCOL_VERSION,
+    ProtocolError,
+)
+from repro.net.remote import RemoteExecutor
+from repro.net.server import DEFAULT_HOST, QueryServer, ServerThread
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_MAX_FRAME",
+    "DEFAULT_PORT",
+    "NetError",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "QueryServer",
+    "RemoteExecutor",
+    "RemoteSession",
+    "ServerThread",
+    "parse_address",
+]

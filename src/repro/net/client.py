@@ -1,0 +1,370 @@
+"""The synchronous client library: ``QuerySession`` over a socket.
+
+:class:`RemoteSession` mirrors the serving-layer API --
+:meth:`~RemoteSession.run`, :meth:`~RemoteSession.run_batch`,
+:meth:`~RemoteSession.submit`, :meth:`~RemoteSession.close`, context
+management -- and returns the very same
+:class:`~repro.service.session.SessionResult` objects, rebuilt from
+the wire (results arrive *factorised*; enumeration happens client
+side, on demand).  Existing callers therefore switch tiers by changing
+one constructor::
+
+    session = QuerySession(db)                      # in-process
+    session = RemoteSession(("10.0.0.5", 7432))     # served
+
+Pipelining: :meth:`submit` sends the request and returns a
+:class:`concurrent.futures.Future` without waiting; a background
+reader thread matches responses (which the server may complete out of
+order) back to futures by request id.  Many submissions can be in
+flight on one connection -- that, multiplied across connections, is
+what the server's wave coalescing feeds on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as _FutureTimeout
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.factorised import FactorisedRelation
+from repro.core.ftree import FTree
+from repro.net import protocol
+from repro.net.protocol import (
+    DEFAULT_MAX_FRAME,
+    DEFAULT_PORT,
+    ProtocolError,
+)
+from repro.query.parser import parse_query
+from repro.query.query import Query
+from repro.service.session import SessionResult
+
+Address = Union[str, Tuple[str, int]]
+
+
+class NetError(RuntimeError):
+    """A remote request failed: server-side error, lost connection,
+    or protocol violation."""
+
+
+def parse_address(address: Address) -> Tuple[str, int]:
+    """``"host:port"`` / ``"host"`` / ``(host, port)`` -> (host, port)."""
+    if isinstance(address, tuple):
+        host, port = address
+        return str(host), int(port)
+    text = str(address)
+    if ":" in text:
+        host, _, port_text = text.rpartition(":")
+        try:
+            return host or "127.0.0.1", int(port_text)
+        except ValueError as exc:
+            raise ValueError(
+                f"malformed address {address!r} (want host:port)"
+            ) from exc
+    return text, DEFAULT_PORT
+
+
+def _as_query(query: Union[Query, str]) -> Query:
+    return query if isinstance(query, Query) else parse_query(str(query))
+
+
+class RemoteSession:
+    """A connection to one ``repro serve`` server.
+
+    Parameters
+    ----------
+    address:
+        ``(host, port)``, ``"host:port"`` or ``"host"`` (default port
+        :data:`~repro.net.protocol.DEFAULT_PORT`).
+    timeout:
+        Seconds :meth:`run`/:meth:`run_batch`/:meth:`stats` wait for
+        their response (``None`` = forever).  :meth:`submit` futures
+        are unaffected -- callers choose their own wait.
+    connect_timeout:
+        Seconds to wait for the TCP connect plus the server hello.
+    max_frame:
+        Reject inbound frames larger than this.
+    """
+
+    def __init__(
+        self,
+        address: Address = ("127.0.0.1", DEFAULT_PORT),
+        timeout: Optional[float] = 60.0,
+        connect_timeout: float = 10.0,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> None:
+        self.address = parse_address(address)
+        self.timeout = timeout
+        self.max_frame = max_frame
+        self._ids = itertools.count(1)
+        self._send_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        #: id -> (future, context); context tells the reader thread how
+        #: to decode the response payload.
+        self._pending: Dict[int, Tuple[Future, Tuple]] = {}
+        self._closed = False
+        try:
+            self._sock = socket.create_connection(
+                self.address, timeout=connect_timeout
+            )
+        except OSError as exc:
+            raise NetError(
+                f"cannot connect to {self.address[0]}:"
+                f"{self.address[1]}: {exc}"
+            ) from exc
+        try:
+            hello = protocol.recv_frame(self._sock, self.max_frame)
+        except (ProtocolError, OSError) as exc:
+            self._sock.close()
+            raise NetError(f"handshake failed: {exc}") from exc
+        if hello is None or hello[0] != "hello":
+            self._sock.close()
+            raise NetError(
+                f"{self.address[0]}:{self.address[1]} did not say hello "
+                f"(got {hello[0] if hello else 'EOF'})"
+            )
+        #: The server's hello header: protocol version, encoding,
+        #: shard layout, relation names, database version.
+        self.server_info: Dict[str, Any] = hello[1]
+        self._sock.settimeout(None)
+        self._reader = threading.Thread(
+            target=self._read_loop, name="repro-net-client", daemon=True
+        )
+        self._reader.start()
+
+    # -- the public QuerySession-shaped API --------------------------------
+
+    def _await(self, rid: int, future: Future):
+        """Block on a response; timeouts become :class:`NetError` and
+        release the pending entry (a late response is then ignored)."""
+        try:
+            return future.result(self.timeout)
+        except (TimeoutError, _FutureTimeout):
+            with self._state_lock:
+                self._pending.pop(rid, None)
+            raise NetError(
+                f"no response from {self.address[0]}:"
+                f"{self.address[1]} within {self.timeout}s"
+            ) from None
+
+    def run(
+        self, query: Union[Query, str], engine: str = "auto"
+    ) -> SessionResult:
+        """Evaluate one query on the server (blocking)."""
+        query = _as_query(query)
+        rid, future = self._request(
+            "query",
+            {"sql": str(query), "engine": engine},
+            context=("result", query),
+        )
+        return self._await(rid, future)
+
+    def submit(
+        self, query: Union[Query, str], engine: str = "auto"
+    ) -> Future:
+        """Pipelined submission: send now, resolve later.
+
+        The returned future is not bound to :attr:`timeout`; callers
+        choose their own wait in ``future.result(...)``.
+        """
+        query = _as_query(query)
+        _, future = self._request(
+            "query",
+            {"sql": str(query), "engine": engine},
+            context=("result", query),
+        )
+        return future
+
+    def run_batch(
+        self,
+        queries: Sequence[Union[Query, str]],
+        engine: str = "auto",
+    ) -> List[SessionResult]:
+        """Evaluate a batch in one round trip (server-side dedup)."""
+        parsed = [_as_query(q) for q in queries]
+        rid, future = self._request(
+            "batch",
+            {"sql": [str(q) for q in parsed], "engine": engine},
+            context=("batch", parsed),
+        )
+        return self._await(rid, future)
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's ``STATS`` document (server / session / cache /
+        queue / plan-store counters)."""
+        rid, future = self._request("stats", {}, context=("stats",))
+        return self._await(rid, future)
+
+    # -- the worker protocol (RemoteExecutor) ------------------------------
+
+    def submit_shard(
+        self,
+        query: Union[Query, str],
+        tree: FTree,
+        shard: int,
+        fanout: str,
+    ) -> Future:
+        """Evaluate (query, shard) on the worker; resolves to
+        ``(worker_seconds, FactorisedRelation)`` without projection."""
+        query = _as_query(query)
+        _, future = self._request(
+            "shard",
+            {"sql": str(query), "shard": int(shard), "fanout": fanout},
+            payload=protocol.pack_blob(tree),
+            context=("part",),
+        )
+        return future
+
+    def submit_execute(
+        self, query: Union[Query, str], tree: FTree
+    ) -> Future:
+        """Evaluate a whole query on the worker (projection applied);
+        resolves to ``(worker_seconds, FactorisedRelation)``."""
+        query = _as_query(query)
+        _, future = self._request(
+            "execute",
+            {"sql": str(query)},
+            payload=protocol.pack_blob(tree),
+            context=("part",),
+        )
+        return future
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Close the connection; pending futures fail with
+        :class:`NetError`.  Idempotent."""
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+        if threading.current_thread() is not self._reader:
+            self._reader.join(timeout=10)
+        self._fail_pending(NetError("session closed"))
+
+    def __enter__(self) -> "RemoteSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(
+        self,
+        kind: str,
+        header: Dict[str, Any],
+        payload: bytes = b"",
+        context: Tuple = (),
+    ) -> Tuple[int, Future]:
+        rid = next(self._ids)
+        future: Future = Future()
+        with self._state_lock:
+            if self._closed:
+                raise NetError("session is closed")
+            self._pending[rid] = (future, context)
+        frame = protocol.encode_frame(
+            kind, {**header, "id": rid}, payload
+        )
+        try:
+            with self._send_lock:
+                self._sock.sendall(frame)
+        except OSError as exc:
+            with self._state_lock:
+                self._pending.pop(rid, None)
+            self.close()
+            raise NetError(f"connection lost: {exc}") from exc
+        return rid, future
+
+    def _fail_pending(self, error: Exception) -> None:
+        with self._state_lock:
+            pending, self._pending = self._pending, {}
+        for future, _ in pending.values():
+            if not future.done():
+                future.set_exception(error)
+
+    def _read_loop(self) -> None:
+        error: Optional[Exception] = None
+        try:
+            while True:
+                frame = protocol.recv_frame(self._sock, self.max_frame)
+                if frame is None:
+                    break
+                self._dispatch(*frame)
+        except (ProtocolError, OSError) as exc:
+            if not self._closed:
+                error = NetError(f"connection lost: {exc}")
+        finally:
+            with self._state_lock:
+                self._closed = True
+            self._fail_pending(
+                error or NetError("connection closed by server")
+            )
+
+    def _dispatch(
+        self, kind: str, header: Dict[str, Any], payload: bytes
+    ) -> None:
+        rid = header.get("id")
+        if rid is None:
+            if kind == "error":
+                # Connection-fatal server error (oversized/corrupt
+                # frame): every in-flight request is lost.
+                self._fail_pending(
+                    NetError(f"server error: {header.get('error')}")
+                )
+            return
+        with self._state_lock:
+            entry = self._pending.pop(rid, None)
+        if entry is None:
+            return  # response to a request we gave up on
+        future, context = entry
+        try:
+            future.set_result(
+                self._decode(kind, header, payload, context)
+            )
+        except Exception as exc:
+            future.set_exception(exc)
+
+    def _decode(
+        self,
+        kind: str,
+        header: Dict[str, Any],
+        payload: bytes,
+        context: Tuple,
+    ):
+        if kind == "error":
+            raise NetError(
+                f"server error ({header.get('type', 'error')}): "
+                f"{header.get('error')}"
+            )
+        shape = context[0] if context else None
+        if kind == "result" and shape == "result":
+            return protocol.unpack_result(context[1], header, payload)
+        if kind == "result" and shape == "part":
+            fr = protocol.unpack_blob(payload)
+            if not isinstance(fr, FactorisedRelation):
+                raise NetError(
+                    f"worker returned a {type(fr).__name__}, not a "
+                    f"factorised relation"
+                )
+            return float(header.get("elapsed", 0.0)), fr
+        if kind == "batch-result" and shape == "batch":
+            return protocol.unpack_results(
+                context[1], header["results"], payload
+            )
+        if kind == "stats-result" and shape == "stats":
+            return header
+        raise NetError(
+            f"unexpected {kind!r} response for a {shape!r} request"
+        )

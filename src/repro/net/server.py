@@ -1,0 +1,598 @@
+"""The asyncio query server: one ``QuerySession`` behind a TCP port.
+
+Design
+------
+The server owns exactly one
+:class:`~repro.service.session.QuerySession` and never evaluates a
+query on the event loop:
+
+- ``query`` and ``batch`` requests go through the session's
+  :meth:`~repro.service.session.QuerySession.submit` (the overlapping
+  batch submitter): requests arriving from *different* connections
+  while a wave is running are coalesced into the next wave --
+  deduplicated, compiled once, fanned out together -- which is where
+  the serving tier's aggregate-throughput win comes from.  The
+  returned :class:`concurrent.futures.Future` is awaited via
+  ``asyncio.wrap_future``, so the loop stays free;
+- ``shard`` and ``execute`` requests (the
+  :class:`~repro.net.remote.RemoteExecutor` worker protocol) run the
+  stateless :mod:`repro.exec.worker` entry points on a small thread
+  pool -- they touch only the immutable database snapshot, never the
+  session's caches.
+
+Per-connection **pipelining** falls out of the request ids: the reader
+coroutine admits each frame into the bounded admission queue and
+immediately reads the next one, responses are written (under a
+per-connection lock) whenever their evaluation finishes, and clients
+match them back by id -- possibly out of order.
+
+**Backpressure** is the admission semaphore: when ``max_pending``
+requests are in flight the reader coroutines stop reading, the kernel
+socket buffers fill, and remote senders block in ``send`` -- the
+standard TCP story, with no unbounded queue anywhere.
+
+**Graceful drain** (:meth:`QueryServer.drain`): stop accepting
+connections, answer new requests with a ``draining`` error, wait for
+every admitted request to finish, then close the connections and the
+session.  ``repro serve`` wires SIGINT/SIGTERM to it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import struct
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.core.ftree import FTree
+from repro.exec import worker as worker_mod
+from repro.net import protocol
+from repro.net.protocol import DEFAULT_MAX_FRAME, ProtocolError
+from repro.query.parser import parse_query
+from repro.storage.sharded import ShardedDatabase
+
+DEFAULT_HOST = "127.0.0.1"
+
+
+@dataclass
+class ServerStats:
+    """Lifetime counters of one server (all monotone except gauges)."""
+
+    connections: int = 0
+    active_connections: int = 0
+    requests: int = 0
+    queries: int = 0
+    batches: int = 0
+    shard_tasks: int = 0
+    execute_tasks: int = 0
+    stats_requests: int = 0
+    errors: int = 0
+    protocol_errors: int = 0
+    oversized_frames: int = 0
+    pending: int = 0
+    peak_pending: int = 0
+    rejected_draining: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+
+class QueryServer:
+    """Serve one :class:`QuerySession` to concurrent TCP clients.
+
+    Parameters
+    ----------
+    session:
+        The session to serve.  The server owns it: :meth:`drain`
+        closes it.
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (see
+        :attr:`address` after :meth:`start`).
+    max_pending:
+        Admission bound: at most this many requests are in flight
+        across all connections; further frames wait unread
+        (TCP backpressure).
+    max_frame:
+        Reject frames larger than this many bytes (both a malformed-
+        peer guard and a memory bound).
+    task_threads:
+        Thread-pool size for ``shard``/``execute`` worker tasks.
+    """
+
+    def __init__(
+        self,
+        session,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        max_pending: int = 128,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        task_threads: int = 4,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be positive")
+        self.session = session
+        self.host = host
+        self.port = port
+        self.max_pending = max_pending
+        self.max_frame = max_frame
+        self.stats = ServerStats()
+        self.started_at: Optional[float] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._sem: Optional[asyncio.Semaphore] = None
+        self._pool = ThreadPoolExecutor(
+            max_workers=task_threads, thread_name_prefix="repro-net-task"
+        )
+        self._tasks: Set[asyncio.Task] = set()
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._draining = False
+        self._idle: Optional[asyncio.Event] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._sem = asyncio.Semaphore(self.max_pending)
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.started_at = time.time()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) -- resolves ``port=0`` requests."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: finish admitted work, then close.
+
+        New connections are refused (listener closed), new requests on
+        live connections answered with a ``draining`` error, admitted
+        requests run to completion and deliver their responses; then
+        every connection, the task pool and the session are closed.
+        Idempotent.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+        if self._idle is not None:
+            await self._idle.wait()
+        for writer in list(self._writers):
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+        self._writers.clear()
+        self._pool.shutdown(wait=True)
+        self.session.close()
+
+    # -- connection handling -----------------------------------------------
+
+    def _hello_header(self) -> Dict[str, Any]:
+        database = self.session.database
+        sharded = isinstance(database, ShardedDatabase)
+        return {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "server": "repro.net",
+            "encoding": self.session.encoding,
+            "max_frame": self.max_frame,
+            "sharded": sharded,
+            "shard_count": database.shard_count if sharded else 1,
+            "strategy": database.strategy if sharded else None,
+            "relations": sorted(database.names),
+            "db_version": database.version,
+        }
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats.connections += 1
+        self.stats.active_connections += 1
+        self._writers.add(writer)
+        lock = asyncio.Lock()
+        try:
+            await self._send(writer, lock, "hello", self._hello_header())
+            while True:
+                try:
+                    head = await reader.readexactly(4)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break  # EOF (clean or mid-preamble): just go away
+                (length,) = struct.unpack(">I", head)
+                if length > self.max_frame:
+                    # Refuse to buffer it; the stream is beyond repair
+                    # (we will not skip `length` bytes of hostility).
+                    self.stats.oversized_frames += 1
+                    await self._send_error(
+                        writer,
+                        lock,
+                        None,
+                        f"frame of {length} bytes exceeds the "
+                        f"{self.max_frame}-byte limit",
+                        kind="ProtocolError",
+                    )
+                    break
+                try:
+                    body = await reader.readexactly(length)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break  # truncated mid-frame: peer died, clean up
+                try:
+                    kind, header, payload = protocol.decode_body(body)
+                except ProtocolError as exc:
+                    # Framing held but the body is foreign/garbled; we
+                    # cannot trust anything that follows either.
+                    self.stats.protocol_errors += 1
+                    await self._send_error(
+                        writer, lock, None, str(exc), kind="ProtocolError"
+                    )
+                    break
+                self.stats.requests += 1
+                rid = header.get("id")
+                if self._draining:
+                    self.stats.rejected_draining += 1
+                    await self._send_error(
+                        writer, lock, rid, "server is draining"
+                    )
+                    continue
+                # Admission: holding the reader here until a slot
+                # frees is the backpressure mechanism.
+                await self._sem.acquire()
+                if self._draining:
+                    # drain() may have started while we were parked on
+                    # the semaphore; admitting now would process work
+                    # after the server reported itself drained.
+                    self._sem.release()
+                    self.stats.rejected_draining += 1
+                    await self._send_error(
+                        writer, lock, rid, "server is draining"
+                    )
+                    continue
+                self._admitted()
+                task = asyncio.ensure_future(
+                    self._process(kind, header, payload, writer, lock)
+                )
+                self._tasks.add(task)
+                task.add_done_callback(self._task_done)
+        finally:
+            self.stats.active_connections -= 1
+            self._writers.discard(writer)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    def _admitted(self) -> None:
+        self.stats.pending += 1
+        self.stats.peak_pending = max(
+            self.stats.peak_pending, self.stats.pending
+        )
+        self._idle.clear()
+
+    def _task_done(self, task: asyncio.Task) -> None:
+        self._tasks.discard(task)
+        self.stats.pending -= 1
+        if self.stats.pending == 0:
+            self._idle.set()
+        self._sem.release()
+        with contextlib.suppress(asyncio.CancelledError):
+            exc = task.exception()
+            if exc is not None:  # _process never raises by design
+                self.stats.errors += 1
+
+    # -- request processing ------------------------------------------------
+
+    async def _process(
+        self,
+        kind: str,
+        header: Dict[str, Any],
+        payload: bytes,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        rid = header.get("id")
+        try:
+            if kind == "query":
+                await self._process_query(header, writer, lock)
+            elif kind == "batch":
+                await self._process_batch(header, writer, lock)
+            elif kind == "shard":
+                await self._process_worker_task(
+                    kind, header, payload, writer, lock
+                )
+            elif kind == "execute":
+                await self._process_worker_task(
+                    kind, header, payload, writer, lock
+                )
+            elif kind == "stats":
+                self.stats.stats_requests += 1
+                await self._send(
+                    writer, lock, "stats-result", self.describe_stats(rid)
+                )
+            else:
+                raise ProtocolError(
+                    f"server cannot handle {kind!r} messages"
+                )
+        except Exception as exc:
+            self.stats.errors += 1
+            await self._send_error(
+                writer, lock, rid, str(exc), kind=type(exc).__name__
+            )
+
+    async def _process_query(
+        self,
+        header: Dict[str, Any],
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        self.stats.queries += 1
+        query = parse_query(str(header["sql"]))
+        engine = str(header.get("engine") or "auto")
+        future = self.session.submit(query, engine)
+        result = await asyncio.wrap_future(future)
+        meta, payload = protocol.pack_result(result)
+        meta["id"] = header.get("id")
+        await self._send(writer, lock, "result", meta, payload)
+
+    async def _process_batch(
+        self,
+        header: Dict[str, Any],
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        self.stats.batches += 1
+        statements = header["sql"]
+        if not isinstance(statements, list):
+            raise ProtocolError("batch 'sql' must be a list of statements")
+        engine = str(header.get("engine") or "auto")
+        queries = [parse_query(str(stmt)) for stmt in statements]
+        # One submit per query (not run_batch): that is what lets the
+        # coalescer interleave *other* clients' queries with these.
+        futures = [self.session.submit(q, engine) for q in queries]
+        results = [await asyncio.wrap_future(f) for f in futures]
+        metas, payload = protocol.pack_results(results)
+        await self._send(
+            writer,
+            lock,
+            "batch-result",
+            {"id": header.get("id"), "results": metas},
+            payload,
+        )
+
+    async def _process_worker_task(
+        self,
+        kind: str,
+        header: Dict[str, Any],
+        payload: bytes,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        if kind == "shard":
+            self.stats.shard_tasks += 1
+        else:
+            self.stats.execute_tasks += 1
+        loop = asyncio.get_running_loop()
+        elapsed, blob = await loop.run_in_executor(
+            self._pool, self._run_worker_task, kind, header, payload
+        )
+        await self._send(
+            writer,
+            lock,
+            "result",
+            {
+                "id": header.get("id"),
+                "payload": "fdbp",
+                "engine": "fdb",
+                "cached": False,
+                "deduped": False,
+                "elapsed": elapsed,
+            },
+            blob,
+        )
+
+    def _run_worker_task(
+        self, kind: str, header: Dict[str, Any], payload: bytes
+    ) -> Tuple[float, bytes]:
+        """Thread-pool body of a ``shard``/``execute`` request."""
+        tree = protocol.unpack_blob(payload)
+        if not isinstance(tree, FTree):
+            raise ProtocolError(
+                f"{kind} payload holds a {type(tree).__name__}, "
+                f"not an f-tree"
+            )
+        query = parse_query(str(header["sql"]))
+        database = self.session.database
+        check = self.session.check_invariants
+        encoding = self.session.encoding
+        if kind == "shard":
+            if not isinstance(database, ShardedDatabase):
+                raise ProtocolError(
+                    "this server holds an unsharded database; "
+                    "'shard' requests need a sharded one"
+                )
+            index = int(header["shard"])
+            if not 0 <= index < database.shard_count:
+                raise ProtocolError(
+                    f"shard {index} out of range "
+                    f"0..{database.shard_count - 1}"
+                )
+            fanout = str(header["fanout"])
+            elapsed, fr = worker_mod.timed_call(
+                worker_mod.evaluate_shard,
+                database,
+                check,
+                query,
+                tree,
+                index,
+                fanout,
+                encoding,
+            )
+        else:
+            elapsed, fr = worker_mod.timed_call(
+                worker_mod.evaluate_full,
+                database,
+                check,
+                query,
+                tree,
+                encoding,
+            )
+        return elapsed, protocol.pack_blob(fr)
+
+    # -- introspection -----------------------------------------------------
+
+    def describe_stats(self, rid=None) -> Dict[str, Any]:
+        """The ``STATS`` response header: server, session, cache and
+        queue counters in one document."""
+        session = self.session
+        submitter = session._submitter
+        store = session.plan_store
+        document: Dict[str, Any] = {
+            "id": rid,
+            "server": {
+                **self.stats.as_dict(),
+                "max_pending": self.max_pending,
+                "draining": self._draining,
+                "uptime": (
+                    time.time() - self.started_at
+                    if self.started_at
+                    else 0.0
+                ),
+            },
+            "session": session.stats.as_dict(),
+            "caches": session.cache_counters(),
+            "submitter": (
+                submitter.counters() if submitter is not None else None
+            ),
+            "plan_store": (
+                store.counters() if store is not None else None
+            ),
+        }
+        return document
+
+    # -- writing -----------------------------------------------------------
+
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+        kind: str,
+        header: Dict[str, Any],
+        payload: bytes = b"",
+    ) -> None:
+        frame = protocol.encode_frame(kind, header, payload)
+        if len(frame) - 4 > self.max_frame and kind != "error":
+            # Never emit a frame the peer is entitled to reject (it
+            # would tear down the connection and every in-flight
+            # request with it); a too-large *response* degrades to a
+            # per-request error instead.
+            self.stats.errors += 1
+            frame = protocol.encode_frame(
+                "error",
+                {
+                    "id": header.get("id"),
+                    "error": (
+                        f"response of {len(frame) - 4} bytes exceeds "
+                        f"the {self.max_frame}-byte frame limit; "
+                        f"raise max_frame or split the batch"
+                    ),
+                    "type": "ProtocolError",
+                },
+            )
+        with contextlib.suppress(ConnectionError, RuntimeError):
+            # A peer that disconnected mid-query simply loses its
+            # response; the server must not hang or crash over it.
+            async with lock:
+                writer.write(frame)
+                await writer.drain()
+
+    async def _send_error(
+        self,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+        rid,
+        message: str,
+        kind: str = "error",
+    ) -> None:
+        await self._send(
+            writer,
+            lock,
+            "error",
+            {"id": rid, "error": message, "type": kind},
+        )
+
+
+class ServerThread:
+    """Run a :class:`QueryServer` on a daemon thread (tests, benchmarks
+    and embedding into synchronous programs).
+
+    >>> # doctest-style sketch; see tests/test_net.py for real use
+    >>> # with ServerThread(session) as server:
+    >>> #     client = RemoteSession(server.address)
+    """
+
+    def __init__(self, session, **server_kwargs) -> None:
+        import threading
+
+        self._session = session
+        self._kwargs = server_kwargs
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._error: Optional[BaseException] = None
+        self.server: Optional[QueryServer] = None
+        self.address: Optional[Tuple[str, int]] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-net-server", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._error is not None:
+            raise self._error
+        if self.address is None:
+            raise RuntimeError("server thread failed to start")
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # startup failures surface in ctor
+            self._error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self.server = QueryServer(self._session, **self._kwargs)
+        try:
+            await self.server.start()
+        except BaseException as exc:
+            self._error = exc
+            self._ready.set()
+            return
+        self.address = self.server.address
+        self._ready.set()
+        await self._stop.wait()
+        await self.server.drain()
+
+    def stop(self) -> None:
+        """Drain the server and join the thread (idempotent)."""
+        if self._loop is not None and self._stop is not None:
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)
+
+    close = stop
+
+    def __enter__(self) -> "ServerThread":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

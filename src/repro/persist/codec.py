@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import io
 import json
+import mmap as mmap_module
 import os
 import shutil
 import struct
@@ -55,6 +56,11 @@ import tempfile
 import zlib
 from array import array
 from typing import Any, BinaryIO, Dict, List, Optional, Tuple
+
+try:  # optional: zero-copy mmap column views (stdlib path copies)
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free CI
+    _np = None
 
 from repro.core import arena as arena_mod
 from repro.core.arena import ArenaRep
@@ -630,6 +636,54 @@ def _read_i64_column(src: BinaryIO) -> array:
     return column
 
 
+class _BufferReader:
+    """A minimal binary reader over a memoryview (e.g. an mmap).
+
+    ``read`` copies (for the small varint/value pieces the tagged
+    decoders consume); ``view`` hands out zero-copy slices for the
+    bulk integer columns.
+    """
+
+    __slots__ = ("_view", "_pos")
+
+    def __init__(self, view: memoryview) -> None:
+        self._view = view
+        self._pos = 0
+
+    def read(self, n: int = -1) -> bytes:
+        if n < 0:
+            n = len(self._view) - self._pos
+        data = bytes(self._view[self._pos : self._pos + n])
+        self._pos += len(data)
+        return data
+
+    def view(self, n: int) -> memoryview:
+        if self._pos + n > len(self._view):
+            raise PersistError("truncated arena column")
+        out = self._view[self._pos : self._pos + n]
+        self._pos += n
+        return out
+
+
+def _read_i64_column_mapped(src: _BufferReader):
+    """A column straight off a mapped buffer.
+
+    With numpy the result is a zero-copy ``int64`` *view* into the
+    mapping -- bytes are only paged in when a kernel touches them; the
+    stdlib fallback copies into an ``array('q')`` (still one pass, no
+    object decode).
+    """
+    count = _read_varint(src)
+    raw = src.view(8 * count)
+    if _np is not None and not _BIG_ENDIAN:
+        return _np.frombuffer(raw, dtype="<i8")
+    column = array("q")
+    column.frombytes(raw)
+    if _BIG_ENDIAN:  # pragma: no cover
+        column.byteswap()
+    return column
+
+
 def _encode_arena(fr: FactorisedRelation) -> Tuple[Dict[str, Any], bytes]:
     out = io.BytesIO()
     tree_bytes = _encode_ftree(fr.tree)
@@ -669,7 +723,14 @@ def _encode_arena(fr: FactorisedRelation) -> Tuple[Dict[str, Any], bytes]:
 
 
 def _decode_arena(payload: bytes) -> FactorisedRelation:
-    src = io.BytesIO(payload)
+    return _decode_arena_from(io.BytesIO(payload), _read_i64_column)
+
+
+def _decode_arena_mapped(view: memoryview) -> FactorisedRelation:
+    return _decode_arena_from(_BufferReader(view), _read_i64_column_mapped)
+
+
+def _decode_arena_from(src, read_column) -> FactorisedRelation:
     tree_len = _read_varint(src)
     tree_bytes = src.read(tree_len)
     if len(tree_bytes) != tree_len:
@@ -694,12 +755,12 @@ def _decode_arena(payload: bytes) -> FactorisedRelation:
     child_lo: List[List[array]] = []
     child_hi: List[List[array]] = []
     for i in range(node_count):
-        values.append(_read_i64_column(src))
+        values.append(read_column(src))
         los: List[array] = []
         his: List[array] = []
         for _ in skel.children[i]:
-            los.append(_read_i64_column(src))
-            his.append(_read_i64_column(src))
+            los.append(read_column(src))
+            his.append(read_column(src))
         child_lo.append(los)
         child_hi.append(his)
     if src.read(1):
@@ -941,21 +1002,72 @@ def save(obj: object, path: str) -> None:
         raise
 
 
-def load(path: str) -> object:
+def load(path: str, mmap: bool = False) -> object:
     """Load whatever :func:`save` put at ``path``.
 
     Dispatches on the blob's self-described kind (directories load as
     sharded databases); raises :class:`PersistError` for anything
     unreadable, truncated, corrupt or version-incompatible.
+
+    ``mmap=True`` memory-maps ``arena`` blobs instead of reading them:
+    the integer columns become zero-copy views into the mapping (numpy
+    ``int64`` views when numpy is available, ``array('q')`` copies
+    otherwise), so opening a large persisted result costs ~O(page
+    faults) of the bytes actually touched rather than a full read.
+    Trade-off: the payload CRC is **not** verified up front (that
+    would page the whole file in); the structural bounds check still
+    runs, and framing/truncation errors are detected as usual.  Kinds
+    other than ``arena`` -- including sharded-database directories,
+    whose row payloads must be decoded value by value regardless --
+    fall back to the ordinary checksummed read.
     """
     if os.path.isdir(path):
         return _load_sharded(path)
+    if mmap:
+        return _load_mapped(path)
     try:
         with open(path, "rb") as handle:
             kind, header, payload = read_blob(handle)
     except OSError as exc:
         raise PersistError(f"cannot read {path!r}: {exc}") from exc
     return decode(kind, header, payload)
+
+
+def _load_mapped(path: str) -> object:
+    """The ``mmap=True`` path of :func:`load` (files only)."""
+    try:
+        handle = open(path, "rb")
+    except OSError as exc:
+        raise PersistError(f"cannot read {path!r}: {exc}") from exc
+    with handle:
+        kind, header = read_header(handle)
+        if kind != "arena":
+            handle.seek(0)
+            kind, header, payload = read_blob(handle)
+            return decode(kind, header, payload)
+        _exactly(handle, 4, "payload checksum")  # deliberately unused
+        (length,) = struct.unpack(">Q", _exactly(handle, 8, "payload length"))
+        offset = handle.tell()
+        try:
+            mapping = mmap_module.mmap(
+                handle.fileno(), 0, access=mmap_module.ACCESS_READ
+            )
+        except (OSError, ValueError) as exc:
+            raise PersistError(f"cannot mmap {path!r}: {exc}") from exc
+    if offset + length > len(mapping):
+        raise PersistError("truncated file: short payload")
+    if offset + length < len(mapping):
+        raise PersistError("arena file has trailing bytes")
+    view = memoryview(mapping)[offset:]
+    # The mapping stays alive exactly as long as the column views do
+    # (each numpy view references the memoryview, which references the
+    # mmap object); nothing to close explicitly.
+    try:
+        return _decode_arena_mapped(view)
+    except PersistError:
+        raise
+    except (ValueError, KeyError, TypeError) as exc:
+        raise PersistError(f"malformed arena blob: {exc}") from exc
 
 
 def inspect(path: str) -> Dict[str, Any]:

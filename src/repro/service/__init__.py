@@ -6,6 +6,7 @@ evaluation to the execution layer (:mod:`repro.exec`) -- see
 :mod:`repro.service.session` for the design rationale.
 """
 
+from repro.service.batching import BatchSubmitter
 from repro.service.cache import PlanCache
 from repro.service.session import (
     CachedPlan,
@@ -15,6 +16,7 @@ from repro.service.session import (
 )
 
 __all__ = [
+    "BatchSubmitter",
     "CachedPlan",
     "PlanCache",
     "QuerySession",

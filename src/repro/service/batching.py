@@ -1,0 +1,231 @@
+"""Overlapping batch submission: futures over a coalescing wave loop.
+
+:meth:`QuerySession.run_batch` is synchronous: the caller hands over a
+complete batch and blocks until every result is back.  That is the
+wrong shape for a *server*, where independent clients submit queries
+at arbitrary times and each wants its own answer as soon as possible
+-- but where the batch machinery (canonical-key deduplication, shared
+compile waves, per-shard fan-out) only pays off when concurrent
+requests are evaluated *together*.
+
+:class:`BatchSubmitter` closes that gap (the ROADMAP's "async
+(overlapping) batch submission" item):
+
+- :meth:`BatchSubmitter.submit` enqueues one query and immediately
+  returns a :class:`concurrent.futures.Future`; callers from any
+  thread (or an asyncio event loop, via ``asyncio.wrap_future``)
+  overlap freely;
+- a single *coalescer* thread drains everything pending into one
+  **wave** and evaluates it with ``session.run_batch`` -- so queries
+  submitted by independent clients while a previous wave was running
+  are deduplicated and fan out together, exactly as if they had
+  arrived in one batch;
+- errors are isolated per query: when a wave fails wholesale, each of
+  its queries is retried individually so one malformed query rejects
+  only its own future.
+
+The coalescer is the sole caller of ``session.run``/``run_batch``
+while a submitter is active, so the session's single-threaded
+execution contract is preserved; :meth:`submit` itself only touches
+the submitter's queue and is safe from any thread.
+
+>>> from repro.relational.database import Database
+>>> from repro.query.parser import parse_query
+>>> from repro.service.session import QuerySession
+>>> db = Database()
+>>> _ = db.add_rows("R", ("a", "b"), [(1, 1), (1, 2), (2, 2)])
+>>> session = QuerySession(db)
+>>> future = session.submit(parse_query("SELECT a FROM R"))
+>>> future.result().rows()
+[(1,), (2,)]
+>>> session.close()
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Dict, List, Optional, Tuple
+
+from repro.query.query import Query
+
+#: One queued submission: (query, engine, future).
+_Pending = Tuple[Query, str, Future]
+
+
+class BatchSubmitter:
+    """Coalesce overlapping :meth:`submit` calls into batch waves.
+
+    Parameters
+    ----------
+    session:
+        The :class:`~repro.service.session.QuerySession` evaluating the
+        waves.  The submitter drives it from its own thread; do not
+        call ``session.run``/``run_batch`` concurrently while the
+        submitter is active.
+    max_wave:
+        Upper bound on queries per wave (``None`` = drain everything
+        pending).  Bounding trades batching efficiency for latency of
+        the queries at the front of the queue.
+    start:
+        Start the coalescer thread immediately (default).  Tests may
+        pass ``False`` and drive :meth:`drain_once` deterministically.
+    """
+
+    def __init__(
+        self,
+        session,
+        max_wave: Optional[int] = None,
+        start: bool = True,
+    ) -> None:
+        if max_wave is not None and max_wave < 1:
+            raise ValueError("max_wave must be positive")
+        self.session = session
+        self.max_wave = max_wave
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._pending: List[_Pending] = []
+        self._closed = False
+        #: Monotone counters, readable from any thread.
+        self.submitted = 0
+        self.waves = 0
+        self.wave_queries = 0
+        self.largest_wave = 0
+        self.isolated_errors = 0
+        self._thread: Optional[threading.Thread] = None
+        if start:
+            self._thread = threading.Thread(
+                target=self._loop,
+                name="repro-batch-submitter",
+                daemon=True,
+            )
+            self._thread.start()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, query: Query, engine: str = "auto") -> Future:
+        """Enqueue one query; the future resolves to a
+        :class:`~repro.service.session.SessionResult`."""
+        from repro.service.session import ENGINES
+
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; pick one of {ENGINES}"
+            )
+        future: Future = Future()
+        with self._wake:
+            if self._closed:
+                raise RuntimeError("submitter is closed")
+            self._pending.append((query, engine, future))
+            self.submitted += 1
+            self._wake.notify()
+        return future
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def counters(self) -> Dict[str, int]:
+        """Lifetime counters (coalescing quality is ``wave_queries /
+        waves``: the mean number of queries evaluated together)."""
+        with self._lock:
+            return {
+                "submitted": self.submitted,
+                "pending": len(self._pending),
+                "waves": self.waves,
+                "wave_queries": self.wave_queries,
+                "largest_wave": self.largest_wave,
+                "isolated_errors": self.isolated_errors,
+            }
+
+    # -- the coalescer -----------------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            with self._wake:
+                while not self._pending and not self._closed:
+                    self._wake.wait()
+                if not self._pending:
+                    return  # closed and drained
+            self.drain_once()
+
+    def drain_once(self) -> int:
+        """Evaluate one wave of everything currently pending.
+
+        Returns the number of queries evaluated.  Public so tests (and
+        ``start=False`` embeddings) can drive waves deterministically.
+        """
+        with self._lock:
+            if self.max_wave is None:
+                wave, self._pending = self._pending, []
+            else:
+                wave = self._pending[: self.max_wave]
+                del self._pending[: self.max_wave]
+        # Honour cancellations that raced the drain.
+        wave = [
+            item
+            for item in wave
+            if item[2].set_running_or_notify_cancel()
+        ]
+        if not wave:
+            return 0
+        with self._lock:
+            self.waves += 1
+            self.wave_queries += len(wave)
+            self.largest_wave = max(self.largest_wave, len(wave))
+        by_engine: Dict[str, List[_Pending]] = {}
+        for item in wave:
+            by_engine.setdefault(item[1], []).append(item)
+        for engine, items in by_engine.items():
+            self._run_group(engine, items)
+        return len(wave)
+
+    def _run_group(self, engine: str, items: List[_Pending]) -> None:
+        queries = [query for query, _, _ in items]
+        try:
+            results = self.session.run_batch(queries, engine=engine)
+        except Exception:
+            # A wave-wide failure names no culprit: retry one by one
+            # so only the offending queries reject their futures.
+            with self._lock:
+                self.isolated_errors += 1
+            for query, _, future in items:
+                try:
+                    future.set_result(
+                        self.session.run(query, engine=engine)
+                    )
+                except Exception as exc:
+                    future.set_exception(exc)
+            return
+        for (_, _, future), result in zip(items, results):
+            future.set_result(result)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting submissions; drain what is queued.
+
+        With ``wait`` (default) blocks until the coalescer has
+        evaluated every pending query and exited.  Idempotent.
+        """
+        with self._wake:
+            self._closed = True
+            self._wake.notify_all()
+        if self._thread is not None and wait:
+            if self._thread is not threading.current_thread():
+                self._thread.join()
+        if self._thread is None:
+            # Unstarted submitter: drain synchronously on close so no
+            # future is left forever pending.  Loop on the queue, not
+            # on drain_once()'s count -- a wave whose futures were all
+            # cancelled evaluates zero queries but must not stop the
+            # drain.
+            while self.pending:
+                self.drain_once()
+
+    def __enter__(self) -> "BatchSubmitter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

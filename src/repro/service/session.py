@@ -41,6 +41,7 @@ per-shard fan-out.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import asdict, dataclass, replace
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
@@ -245,6 +246,8 @@ class QuerySession:
         self.executor = executor if executor is not None else SerialExecutor()
         self.stats = SessionStats()
         self._sqlite: Optional[SQLiteEngine] = None
+        self._submitter = None
+        self._submitter_lock = threading.Lock()
         self._bind()
 
     # -- cache lifecycle ---------------------------------------------------
@@ -307,6 +310,9 @@ class QuerySession:
         }
 
     def close(self) -> None:
+        if self._submitter is not None:
+            self._submitter.close()
+            self._submitter = None
         if self._sqlite is not None:
             self._sqlite.close()
             self._sqlite = None
@@ -397,6 +403,34 @@ class QuerySession:
         self._refresh()
         self.stats.queries += 1
         return self.executor.execute(self, [query], engine)[0]
+
+    def submitter(self, max_wave: Optional[int] = None):
+        """The session's lazily created :class:`~repro.service.
+        batching.BatchSubmitter` (overlapping submission).
+
+        The first call fixes ``max_wave``; later calls return the same
+        submitter.  While it is active the submitter's coalescer thread
+        is the session's only evaluator -- do not call :meth:`run` /
+        :meth:`run_batch` concurrently from other threads.
+        """
+        with self._submitter_lock:
+            if self._submitter is None:
+                from repro.service.batching import BatchSubmitter
+
+                self._submitter = BatchSubmitter(self, max_wave=max_wave)
+            return self._submitter
+
+    def submit(self, query: Query, engine: str = "auto"):
+        """Overlapping submission: enqueue one query, get a
+        :class:`concurrent.futures.Future` of its
+        :class:`SessionResult`.
+
+        Concurrent submitters (threads, asyncio handlers via
+        ``asyncio.wrap_future``) are coalesced into shared batch waves
+        -- deduplicated and fanned out together -- by the session's
+        :meth:`submitter`; see :mod:`repro.service.batching`.
+        """
+        return self.submitter().submit(query, engine)
 
     def run_batch(
         self, queries: Sequence[Query], engine: str = "auto"

@@ -1,0 +1,142 @@
+"""Overlapping batch submission (repro.service.batching)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.query.parser import parse_query
+from repro.query.query import QueryError
+from repro.service import BatchSubmitter, QuerySession
+from repro.workloads import random_database, random_spj_queries
+
+
+def _session(seed: int = 31) -> QuerySession:
+    db = random_database(
+        relations=3, attributes=6, tuples=6, domain=4, seed=seed
+    )
+    return QuerySession(db)
+
+
+def test_submit_matches_run():
+    session = _session()
+    queries = random_spj_queries(
+        session.database, 8, seed=32, max_relations=2, max_equalities=2
+    )
+    expected = [session.run(q).rows() for q in queries]
+    futures = [session.submit(q) for q in queries]
+    assert [f.result(30).rows() for f in futures] == expected
+    session.close()
+
+
+def test_unstarted_submitter_coalesces_one_wave():
+    session = _session(33)
+    submitter = BatchSubmitter(session, start=False)
+    q1 = parse_query("SELECT a00 FROM R0")
+    q2 = parse_query("SELECT a00 FROM R0 WHERE a00 >= 0")
+    futures = [
+        submitter.submit(q1),
+        submitter.submit(q2),
+        submitter.submit(q1),  # canonical repeat: deduped in the wave
+    ]
+    assert submitter.pending == 3
+    assert submitter.drain_once() == 3
+    counters = submitter.counters()
+    assert counters["waves"] == 1
+    assert counters["largest_wave"] == 3
+    assert session.stats.batch_deduped == 1
+    assert futures[2].result(1).deduped
+    assert futures[0].result(1).rows() == futures[2].result(1).rows()
+    submitter.close()
+    session.close()
+
+
+def test_errors_are_isolated_per_query():
+    session = _session(34)
+    submitter = BatchSubmitter(session, start=False)
+    good = submitter.submit(parse_query("SELECT a00 FROM R0"))
+    bad = submitter.submit(
+        parse_query("SELECT nope FROM R0 WHERE nope = a00")
+    )
+    also_good = submitter.submit(parse_query("SELECT a01 FROM R0"))
+    submitter.drain_once()
+    assert good.result(1).count() >= 0
+    assert also_good.result(1).count() >= 0
+    with pytest.raises(QueryError):
+        bad.result(1)
+    assert submitter.counters()["isolated_errors"] == 1
+    submitter.close()
+    session.close()
+
+
+def test_concurrent_submitters_all_resolve():
+    session = _session(35)
+    queries = random_spj_queries(
+        session.database, 6, seed=36, max_relations=2, max_equalities=2
+    )
+    expected = {
+        str(q): session.run(q).rows() for q in queries
+    }
+    results = {}
+    errors = []
+    lock = threading.Lock()
+
+    def client(offset: int) -> None:
+        try:
+            futures = [
+                (q, session.submit(q))
+                for q in queries[offset:] + queries[:offset]
+            ]
+            for q, future in futures:
+                rows = future.result(30).rows()
+                with lock:
+                    results[(offset, str(q))] = rows
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(i,)) for i in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(30)
+    assert not errors
+    for (offset, sql), rows in results.items():
+        assert rows == expected[sql], (offset, sql)
+    assert len(results) == 4 * len(queries)
+    counters = session.submitter().counters()
+    assert counters["submitted"] == 4 * len(queries)
+    assert counters["waves"] >= 1
+    session.close()
+
+
+def test_close_drains_pending_and_rejects_new():
+    session = _session(37)
+    submitter = session.submitter()
+    future = session.submit(parse_query("SELECT a00 FROM R0"))
+    session.close()
+    # close() waits for the coalescer to drain the queue ...
+    assert future.result(1).count() >= 0
+    # ... and the closed submitter rejects new submissions.
+    with pytest.raises(RuntimeError):
+        submitter.submit(parse_query("SELECT a00 FROM R0"))
+
+
+def test_submit_rejects_unknown_engine():
+    session = _session(38)
+    with pytest.raises(ValueError):
+        session.submit(parse_query("SELECT a00 FROM R0"), engine="nope")
+    session.close()
+
+
+def test_close_drains_past_fully_cancelled_waves():
+    session = _session(39)
+    submitter = BatchSubmitter(session, max_wave=1, start=False)
+    doomed = submitter.submit(parse_query("SELECT a00 FROM R0"))
+    doomed.cancel()
+    survivor = submitter.submit(parse_query("SELECT a01 FROM R0"))
+    submitter.close()
+    assert survivor.result(1).count() >= 0
+    session.close()

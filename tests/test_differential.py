@@ -273,6 +273,103 @@ def test_arena_sharded_parallel_path_agrees(strategy):
             assert result.rows() == expected, context
 
 
+@pytest.mark.parametrize(
+    "db_seed,query_seed,count",
+    [(110, 210, 20), (111, 211, 20), (112, 212, 15)],
+)
+def test_served_path_agrees_with_all_engines(
+    db_seed, query_seed, count
+):
+    """The network tier joins the harness (PR-1 policy): a query that
+    went client -> server -> arena engine -> wire -> client must
+    return exactly the rows of FDB, the flat engine and SQLite.
+    3 x (20+20+15) = 55 >= 50 queries."""
+    from repro.net import RemoteSession, ServerThread
+
+    db = _database(db_seed)
+    queries = _queries(db, query_seed, count)
+    session = QuerySession(db, encoding="arena", check_invariants=True)
+    with ServerThread(session) as server, RemoteSession(
+        server.address
+    ) as client, SQLiteEngine(db) as sqlite:
+        results = client.run_batch(queries)
+        for index, (query, result) in enumerate(zip(queries, results)):
+            order, expected = fdb_rows(db, query)
+            context = (
+                f"served, seed {db_seed}/{query_seed} "
+                f"query {index}: {query}"
+            )
+            assert result.rows() == expected, context
+            assert flat_rows(db, query, order) == expected, context
+            assert (
+                sqlite_rows(sqlite, db, query, order) == expected
+            ), context
+
+
+@pytest.mark.parametrize(
+    "db_seed,query_seed,count,strategy",
+    [
+        (113, 213, 17, "hash"),
+        (114, 214, 17, "round_robin"),
+        (115, 215, 16, "hash"),
+    ],
+)
+def test_remote_executor_multi_worker_path_agrees(
+    tmp_path, db_seed, query_seed, count, strategy
+):
+    """Multi-host shard execution joins the harness (PR-1 policy):
+    two shard-worker servers, each having loaded the sharded database
+    from its per-shard FDBP files, evaluated through a RemoteExecutor
+    coordinator, must agree with FDB, the flat engine, SQLite *and*
+    the in-process sharded-parallel union path.
+    17+17+16 = 50 >= 50 queries."""
+    from repro import persist
+    from repro.net import RemoteExecutor, ServerThread
+
+    db = _database(db_seed)
+    sharded = ShardedDatabase.from_database(
+        db, shards=3, strategy=strategy
+    )
+    path = str(tmp_path / "sharded")
+    persist.save(sharded, path)
+    queries = _queries(db, query_seed, count)
+    worker_a = QuerySession(persist.load(path), encoding="arena")
+    worker_b = QuerySession(persist.load(path))
+    with ServerThread(worker_a) as server_a, ServerThread(
+        worker_b
+    ) as server_b, SQLiteEngine(db) as sqlite:
+        executor = RemoteExecutor(
+            [server_a.address, server_b.address], timeout=60
+        )
+        local = QuerySession(
+            ShardedDatabase.from_database(
+                db, shards=3, strategy=strategy
+            ),
+            executor=ParallelExecutor(max_workers=3),
+        )
+        with QuerySession(
+            sharded, executor=executor, check_invariants=True
+        ) as session, local:
+            results = session.run_batch(queries)
+            local_results = local.run_batch(queries)
+            for index, (query, result, local_result) in enumerate(
+                zip(queries, results, local_results)
+            ):
+                order, expected = fdb_rows(db, query)
+                context = (
+                    f"remote, seed {db_seed}/{query_seed} "
+                    f"({strategy}) query {index}: {query}"
+                )
+                assert result.rows() == expected, context
+                assert local_result.rows() == expected, context
+                assert flat_rows(db, query, order) == expected, context
+                assert (
+                    sqlite_rows(sqlite, db, query, order) == expected
+                ), context
+        assert executor.remote_tasks > 0
+        assert executor.local_fallbacks == 0
+
+
 def test_arena_saved_then_reloaded_results_agree(tmp_path):
     """Factorised results that went to disk as arena blobs answer
     follow-up reads exactly like the in-memory originals."""

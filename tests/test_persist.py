@@ -790,3 +790,116 @@ def test_tampered_arena_columns_fail_bounds_check(tmp_path):
     assert zlib.crc32(read_payload) == zlib.crc32(bytes(bad))
     with pytest.raises(PersistError, match="invariants"):
         codec.decode(read_kind, read_header, read_payload)
+
+
+# -- memory-mapped arena loads ----------------------------------------------
+
+
+def test_mmap_arena_load_round_trips(tmp_path):
+    fr = _arena_join_result()
+    path = str(tmp_path / "result.fdbp")
+    save(fr, path)
+    mapped = load(path, mmap=True)
+    assert mapped.encoding == "arena"
+    assert mapped.tree == fr.tree
+    assert list(mapped.rows()) == list(fr.rows())
+    assert mapped.count() == fr.count()
+    assert mapped.size() == fr.size()
+    mapped.validate()
+
+
+def test_mmap_arena_columns_survive_operators(tmp_path):
+    """Mapped columns must behave exactly like owned ones through the
+    arena fast paths: selection, projection, aggregation, and the
+    compiled enumeration loop nests."""
+    from repro import ops
+    from repro.query.query import ConstantCondition
+
+    fr = _arena_join_result()
+    path = str(tmp_path / "result.fdbp")
+    save(fr, path)
+    mapped = load(path, mmap=True)
+    attr = mapped.attributes[0]
+    value = sorted(set(fr.rows((attr,))))[0][0]
+    selected = ops.select_constant(
+        mapped, ConstantCondition(attr, ">=", value)
+    )
+    selected.validate()
+    assert sorted(set(selected.rows())) == sorted(
+        set(
+            ops.select_constant(
+                fr, ConstantCondition(attr, ">=", value)
+            ).rows()
+        )
+    )
+    projected = ops.project(mapped, (attr,))
+    projected.validate()
+    assert sorted(set(projected.rows((attr,)))) == sorted(
+        set(fr.rows((attr,)))
+    )
+    assert mapped.count_distinct(attr) == fr.count_distinct(attr)
+
+
+def test_mmap_stdlib_fallback_path(tmp_path, monkeypatch):
+    """Without numpy the mapped load copies into array('q') -- same
+    answers, stdlib only."""
+    from array import array
+
+    from repro.persist import codec
+
+    fr = _arena_join_result()
+    path = str(tmp_path / "result.fdbp")
+    save(fr, path)
+    monkeypatch.setattr(codec, "_np", None)
+    mapped = load(path, mmap=True)
+    assert isinstance(mapped.arena.values[0], array)
+    assert list(mapped.rows()) == list(fr.rows())
+
+
+def test_mmap_non_arena_kinds_fall_back_to_checksummed_read(tmp_path):
+    db = Database()
+    db.add_rows("R", ("a", "b"), [(1, 2), (3, 4)])
+    path = str(tmp_path / "db.fdbp")
+    save(db, path)
+    loaded = load(path, mmap=True)
+    assert isinstance(loaded, Database)
+    assert loaded.total_size == 2
+
+
+def test_mmap_truncated_arena_file_raises(tmp_path):
+    fr = _arena_join_result()
+    path = str(tmp_path / "result.fdbp")
+    save(fr, path)
+    with open(path, "rb") as handle:
+        data = handle.read()
+    with open(path, "wb") as handle:
+        handle.write(data[:-6])  # chop the final column short
+    with pytest.raises(PersistError):
+        load(path, mmap=True)
+
+
+def test_mmap_trailing_bytes_raise(tmp_path):
+    fr = _arena_join_result()
+    path = str(tmp_path / "result.fdbp")
+    save(fr, path)
+    with open(path, "ab") as handle:
+        handle.write(b"\x00\x00")
+    with pytest.raises(PersistError, match="trailing"):
+        load(path, mmap=True)
+
+
+def test_mmap_tampered_columns_still_fail_bounds_check(tmp_path):
+    """Skipping the CRC must not skip the structural bounds check."""
+    import zlib
+
+    from repro.persist import codec
+
+    fr = _arena_join_result()
+    kind, header, payload = codec.encode(fr)
+    bad = bytearray(payload)
+    bad[-1] = 0x7F
+    path = str(tmp_path / "bad.fdbp")
+    with open(path, "wb") as handle:
+        write_blob(handle, "arena", header, bytes(bad))
+    with pytest.raises(PersistError, match="invariants"):
+        load(path, mmap=True)
