@@ -195,6 +195,9 @@ def _cmd_batch_remote(args: argparse.Namespace) -> int:
                     f"{store['writes']} written, "
                     f"{store['stale_evictions']} stale-evicted"
                 )
+            _print_result_cache_line(
+                (stats.get("caches") or {}).get("results")
+            )
             srv = stats["server"]
             print(
                 f"server: {srv['requests']} requests over "
@@ -204,6 +207,20 @@ def _cmd_batch_remote(args: argparse.Namespace) -> int:
     except NetError as exc:
         raise SystemExit(f"remote batch failed: {exc}")
     return 0
+
+
+def _print_result_cache_line(counters) -> None:
+    """One ``results:`` line of incremental-maintenance counters, so
+    CI smoke runs can assert warm behaviour across a mutation."""
+    if not counters:
+        return
+    print(
+        f"results: {counters['hits']} warm hits, "
+        f"{counters['misses']} misses, "
+        f"{counters['delta_merges']} delta merges "
+        f"({counters['delta_rows']} rows), "
+        f"{counters['invalidations']} invalidated"
+    )
 
 
 def _read_batch_queries(args: argparse.Namespace) -> List[str]:
@@ -324,6 +341,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         f"statistics built {stats.stats_builds}x; "
         f"invalidations: {stats.invalidations}"
     )
+    _print_result_cache_line(session.cache_counters().get("results"))
     if plan_store is not None:
         counters = plan_store.counters()
         print(

@@ -45,8 +45,9 @@ class Executor:
     The ``session`` argument of :meth:`execute` is a
     :class:`~repro.service.session.QuerySession`; executors use its
     documented executor hooks (``lookup_plan`` / ``store_plan`` /
-    ``_execute_serial`` / ``_wrap_fdb_result`` / ``_fallback_result``)
-    and never touch engines directly.
+    ``_execute_serial`` / ``_wrap_fdb_result`` / ``_fallback_result``
+    / ``_serve_cached`` / ``_cache_result``) and never touch engines
+    directly.
     """
 
     name = "base"
@@ -184,12 +185,14 @@ class ParallelExecutor(Executor):
         )
 
     def _submit_full(self, session, query: Query, tree) -> Future:
+        # Workers return the *unprojected* join result; the
+        # coordinator caches it for delta maintenance, then projects.
         if self.pool_kind == "process":
-            return self._pool.submit(worker.execute_task, query, tree)
+            return self._pool.submit(worker.join_task, query, tree)
         return self._pool.submit(
             partial(
                 worker.timed_call,
-                worker.evaluate_full,
+                worker.evaluate_join,
                 session.database,
                 session.check_invariants,
                 query,
@@ -264,6 +267,15 @@ class ParallelExecutor(Executor):
             plan, hit = plans[i]
             if engine == "auto" and session._would_explode(plan):
                 jobs.append(("fallback", None))
+                continue
+            # Delta-maintained result cache: a warm (or caught-up)
+            # entry skips evaluation entirely -- nothing to fan out.
+            serve_start = time.perf_counter()
+            served = session._serve_cached(query)
+            if served is not None:
+                jobs.append(
+                    ("served", (served, time.perf_counter() - serve_start))
+                )
             elif sharded:
                 fanout = database.fanout_relation(query.relations)
                 jobs.append(
@@ -298,8 +310,22 @@ class ParallelExecutor(Executor):
                     )
                 )
                 continue
+            if kind == "served":
+                fr, elapsed = payload
+                results.append(
+                    session._wrap_fdb_result(
+                        query, fr, cached=True, elapsed=elapsed
+                    )
+                )
+                continue
             if kind == "full":
                 elapsed, fr = payload.result()
+                finish_start = time.perf_counter()
+                session._cache_result(query, plan.tree, fr)
+                fr = worker.project_result(
+                    fr, query, session.check_invariants
+                )
+                elapsed += time.perf_counter() - finish_start
             else:
                 parts = [future.result() for future in payload]
                 combine_start = time.perf_counter()
@@ -307,6 +333,11 @@ class ParallelExecutor(Executor):
                     [part for _, part in parts],
                     query,
                     session.check_invariants,
+                    project=False,
+                )
+                session._cache_result(query, plan.tree, fr)
+                fr = worker.project_result(
+                    fr, query, session.check_invariants
                 )
                 elapsed = max(seconds for seconds, _ in parts) + (
                     time.perf_counter() - combine_start

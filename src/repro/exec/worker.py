@@ -85,6 +85,22 @@ def execute_task(
     )
 
 
+def join_task(
+    query: Query, tree: FTree
+) -> Tuple[float, FactorisedRelation]:
+    """Like :func:`execute_task` but **without** the projection, so the
+    coordinator can cache the join result for delta maintenance
+    (:mod:`repro.ivm`) before projecting."""
+    return timed_call(
+        evaluate_join,
+        _STATE["database"],
+        bool(_STATE["check_invariants"]),
+        query,
+        tree,
+        str(_STATE.get("encoding", "object")),
+    )
+
+
 def shard_task(
     query: Query, tree: FTree, index: int, fanout: str
 ) -> Tuple[float, FactorisedRelation]:
@@ -121,6 +137,35 @@ def compile_direct(
     return engine.optimal_tree(query)
 
 
+def evaluate_join(
+    database,
+    check_invariants: bool,
+    query: Query,
+    tree: FTree,
+    encoding: str = "object",
+) -> FactorisedRelation:
+    """Evaluate one query over the full database **without** the
+    projection: factorised join over the precompiled tree, constants
+    inside.  The unprojected form is what the coordinator's result
+    cache keeps for delta maintenance."""
+    engine = FDB(
+        database, check_invariants=check_invariants, encoding=encoding
+    )
+    return engine.factorise_query(query, tree=tree)
+
+
+def project_result(
+    fr: FactorisedRelation, query: Query, check_invariants: bool
+) -> FactorisedRelation:
+    """Apply ``query``'s projection to a join result (no-op without
+    one)."""
+    if query.projection is not None:
+        fr = ops.project(fr, query.projection)
+        if check_invariants:
+            fr.validate()
+    return fr
+
+
 def evaluate_full(
     database,
     check_invariants: bool,
@@ -130,15 +175,8 @@ def evaluate_full(
 ) -> FactorisedRelation:
     """Evaluate one query over the full database: factorised join over
     the precompiled tree, constants inside, projection applied."""
-    engine = FDB(
-        database, check_invariants=check_invariants, encoding=encoding
-    )
-    fr = engine.factorise_query(query, tree=tree)
-    if query.projection is not None:
-        fr = ops.project(fr, query.projection)
-        if check_invariants:
-            fr.validate()
-    return fr
+    fr = evaluate_join(database, check_invariants, query, tree, encoding)
+    return project_result(fr, query, check_invariants)
 
 
 def evaluate_shard(
@@ -163,14 +201,16 @@ def evaluate_shard(
 
 
 def combine_shards(
-    parts, query: Query, check_invariants: bool
+    parts, query: Query, check_invariants: bool, project: bool = True
 ) -> FactorisedRelation:
     """Union per-shard factorised results and apply the projection.
 
     ``parts`` must hold one result per shard (an empty shard yields a
     ``data=None`` relation, never a missing entry) -- an empty list
     here would silently masquerade as an empty *result*, so it is an
-    error instead.
+    error instead.  ``project=False`` stops after the union, for
+    coordinators that cache the unprojected join result
+    (:mod:`repro.ivm`) before projecting.
     """
     parts = list(parts)
     if not parts:
@@ -178,8 +218,6 @@ def combine_shards(
     fr = ops.union_all(parts)
     if check_invariants:
         fr.validate()
-    if query.projection is not None:
-        fr = ops.project(fr, query.projection)
-        if check_invariants:
-            fr.validate()
-    return fr
+    if not project:
+        return fr
+    return project_result(fr, query, check_invariants)

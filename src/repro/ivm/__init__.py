@@ -1,0 +1,42 @@
+"""Incremental view maintenance for factorised query results.
+
+The paper's representations are exactly the structure that makes
+delta maintenance cheap: an append factorises to a *small* f-rep over
+the cached result's own f-tree and merges in via
+:func:`repro.ops.union.union` -- no re-join of the base data.  This
+package owns that mechanism:
+
+- :mod:`repro.ivm.maintain` -- building per-delta views, factorising
+  delta results over a fixed tree, and folding a recorded delta range
+  (:meth:`repro.relational.database.Database.changes_since`) into a
+  cached result;
+- :mod:`repro.ivm.cache` -- :class:`~repro.ivm.cache.ResultCache`, the
+  LRU of **unprojected** factorised join results versioned as
+  ``(base_version, applied_deltas)``, which catches entries up lazily
+  on lookup.
+
+The serving layer (:class:`~repro.service.session.QuerySession`)
+consumes this package; nothing here imports :mod:`repro.service`, so
+the layering storage -> execution -> ivm -> serving stays acyclic.
+"""
+
+from repro.ivm.cache import CachedResult, ResultCache
+from repro.ivm.maintain import (
+    MaintenanceError,
+    absorbable,
+    apply_deltas,
+    delta_result,
+    delta_view,
+    join_query,
+)
+
+__all__ = [
+    "CachedResult",
+    "MaintenanceError",
+    "ResultCache",
+    "absorbable",
+    "apply_deltas",
+    "delta_result",
+    "delta_view",
+    "join_query",
+]

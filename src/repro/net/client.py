@@ -197,6 +197,44 @@ class RemoteSession:
         rid, future = self._request("stats", {}, context=("stats",))
         return self._await(rid, future)
 
+    # -- mutations ---------------------------------------------------------
+
+    def extend_rows(
+        self, relation: str, rows: Sequence[Sequence[object]]
+    ) -> Dict[str, Any]:
+        """Append ``rows`` to ``relation`` on the server.
+
+        Returns the server's mutation receipt: ``op``, ``relation``,
+        ``count`` (genuinely new rows) and the post-mutation
+        ``db_version``.  The server applies the append through its
+        live session database, so absorbable deltas keep served plans
+        and cached results warm exactly as they would in-process.
+        """
+        return self._mutate("extend", relation, rows)
+
+    def delete_rows(
+        self, relation: str, rows: Sequence[Sequence[object]]
+    ) -> Dict[str, Any]:
+        """Delete ``rows`` from ``relation`` on the server; the receipt
+        ``count`` says how many were actually present."""
+        return self._mutate("delete", relation, rows)
+
+    def _mutate(
+        self,
+        op: str,
+        relation: str,
+        rows: Sequence[Sequence[object]],
+    ) -> Dict[str, Any]:
+        normalised = [tuple(row) for row in rows]
+        arity, payload = protocol.pack_rows(normalised)
+        rid, future = self._request(
+            "mutate",
+            {"op": op, "relation": relation, "arity": arity},
+            payload=payload,
+            context=("mutate",),
+        )
+        return self._await(rid, future)
+
     # -- the worker protocol (RemoteExecutor) ------------------------------
 
     def submit_shard(
@@ -364,6 +402,8 @@ class RemoteSession:
                 context[1], header["results"], payload
             )
         if kind == "stats-result" and shape == "stats":
+            return header
+        if kind == "mutate-result" and shape == "mutate":
             return header
         raise NetError(
             f"unexpected {kind!r} response for a {shape!r} request"

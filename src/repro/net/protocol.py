@@ -75,10 +75,24 @@ DEFAULT_MAX_FRAME = 64 * 1024 * 1024
 DEFAULT_PORT = 7432
 
 #: Messages a client may send.
-REQUEST_KINDS = ("query", "batch", "shard", "execute", "stats")
+REQUEST_KINDS = (
+    "query",
+    "batch",
+    "shard",
+    "execute",
+    "stats",
+    "mutate",
+)
 
 #: Messages a server may send.
-RESPONSE_KINDS = ("hello", "result", "batch-result", "stats-result", "error")
+RESPONSE_KINDS = (
+    "hello",
+    "result",
+    "batch-result",
+    "stats-result",
+    "mutate-result",
+    "error",
+)
 
 _KINDS = frozenset(REQUEST_KINDS) | frozenset(RESPONSE_KINDS)
 
@@ -224,6 +238,25 @@ def _decode_rows(payload: bytes, arity: int) -> List[tuple]:
     if src.read(1):
         raise ProtocolError("rows payload has trailing bytes")
     return rows
+
+
+def pack_rows(
+    rows: List[tuple],
+) -> Tuple[int, bytes]:
+    """(arity, payload) for a list of raw rows (mutate requests).
+
+    Rows travel as the codec's tagged values -- the same value space
+    relations store -- not as JSON, so mutations round-trip exactly
+    what a local ``extend_rows``/``delete_rows`` would see.
+    """
+    rows = [tuple(row) for row in rows]
+    arity = len(rows[0]) if rows else 0
+    return arity, _encode_rows(rows, arity)
+
+
+def unpack_rows(payload: bytes, arity: int) -> List[tuple]:
+    """Inverse of :func:`pack_rows`."""
+    return _decode_rows(payload, int(arity))
 
 
 def pack_blob(obj: object) -> bytes:

@@ -175,6 +175,15 @@ class RemoteExecutor(Executor):
         for query, (plan, hit) in zip(queries, plans):
             if engine == "auto" and session._would_explode(plan):
                 jobs.append(("fallback", None))
+                continue
+            # Delta-maintained result cache: a warm entry needs no
+            # fan-out at all (catch-up runs on the coordinator).
+            serve_start = time.perf_counter()
+            served = session._serve_cached(query)
+            if served is not None:
+                jobs.append(
+                    ("served", (served, time.perf_counter() - serve_start))
+                )
             elif sharded:
                 fanout = database.fanout_relation(query.relations)
                 parts = [
@@ -200,7 +209,18 @@ class RemoteExecutor(Executor):
                     )
                 )
                 continue
+            if kind == "served":
+                fr, elapsed = payload
+                results.append(
+                    session._wrap_fdb_result(
+                        query, fr, cached=True, elapsed=elapsed
+                    )
+                )
+                continue
             if kind == "full":
+                # Whole-query results arrive projected from the
+                # worker, so they cannot seed the (unprojected)
+                # result cache; only the sharded path does.
                 elapsed, fr = self._gather_full(
                     session, query, plan.tree, payload
                 )
@@ -216,7 +236,14 @@ class RemoteExecutor(Executor):
                     parts.append(part)
                 combine_start = time.perf_counter()
                 fr = worker_mod.combine_shards(
-                    parts, query, session.check_invariants
+                    parts,
+                    query,
+                    session.check_invariants,
+                    project=False,
+                )
+                session._cache_result(query, plan.tree, fr)
+                fr = worker_mod.project_result(
+                    fr, query, session.check_invariants
                 )
                 elapsed = slowest + (
                     time.perf_counter() - combine_start

@@ -69,6 +69,7 @@ class ServerStats:
     shard_tasks: int = 0
     execute_tasks: int = 0
     stats_requests: int = 0
+    mutations: int = 0
     errors: int = 0
     protocol_errors: int = 0
     oversized_frames: int = 0
@@ -313,6 +314,8 @@ class QueryServer:
                 await self._process_worker_task(
                     kind, header, payload, writer, lock
                 )
+            elif kind == "mutate":
+                await self._process_mutate(header, payload, writer, lock)
             elif kind == "stats":
                 self.stats.stats_requests += 1
                 await self._send(
@@ -446,6 +449,52 @@ class QueryServer:
                 encoding,
             )
         return elapsed, protocol.pack_blob(fr)
+
+    async def _process_mutate(
+        self,
+        header: Dict[str, Any],
+        payload: bytes,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        self.stats.mutations += 1
+        loop = asyncio.get_running_loop()
+        meta = await loop.run_in_executor(
+            self._pool, self._run_mutate, header, payload
+        )
+        meta["id"] = header.get("id")
+        await self._send(writer, lock, "mutate-result", meta)
+
+    def _run_mutate(
+        self, header: Dict[str, Any], payload: bytes
+    ) -> Dict[str, Any]:
+        """Thread-pool body of a ``mutate`` request.
+
+        Mutations go through the live session database, so its version
+        bump and recorded delta drive the same refresh path a local
+        embedder would see: absorbable appends keep plans and catch
+        cached results up, everything else invalidates.
+        """
+        op = str(header.get("op") or "")
+        relation = str(header["relation"])
+        rows = protocol.unpack_rows(payload, int(header["arity"]))
+        database = self.session.database
+        if op == "extend":
+            before = len(database[relation])
+            merged = database.extend_rows(relation, rows)
+            count = len(merged) - before
+        elif op == "delete":
+            count = database.delete_rows(relation, rows=rows)
+        else:
+            raise ProtocolError(
+                f"unknown mutate op {op!r}; pick 'extend' or 'delete'"
+            )
+        return {
+            "op": op,
+            "relation": relation,
+            "count": count,
+            "db_version": database.version,
+        }
 
     # -- introspection -----------------------------------------------------
 

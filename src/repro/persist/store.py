@@ -123,6 +123,7 @@ class PlanStore:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.delta_hits = 0
         self.stale_evictions = 0
         self.gc_evictions = 0
 
@@ -138,10 +139,12 @@ class PlanStore:
     def get(self, query: Query, database: Database) -> Optional[FTree]:
         """The stored plan for ``query`` over ``database``, or ``None``.
 
-        A stored entry whose ``db_version`` does not match the live
-        database is *stale*: it is deleted and the lookup misses.  A
-        corrupt entry raises :class:`PersistError` -- the store never
-        silently returns a plan it cannot verify.
+        A stored entry whose ``db_version`` lags the live database is
+        served anyway when the gap is explained by recorded data-only
+        deltas (``delta_hits``; plans are schema-level objects, see
+        the inline note) and *stale* otherwise: deleted, and the
+        lookup misses.  A corrupt entry raises :class:`PersistError`
+        -- the store never silently returns a plan it cannot verify.
         """
         fingerprint = schema_fingerprint(database)
         path = self._entry_path(query, fingerprint)
@@ -165,11 +168,23 @@ class PlanStore:
             # Digest collision across schemas: treat as a miss.
             self.misses += 1
             return None
-        if header.get("db_version") != database.version:
-            self._evict(path)
-            self.stale_evictions += 1
-            self.misses += 1
-            return None
+        entry_version = header.get("db_version")
+        if entry_version != database.version:
+            # Delta-aware staleness: an f-tree depends on the schema
+            # and query structure, not on the rows, so a version gap
+            # explained by recorded *data-only* deltas keeps the plan
+            # valid (schema changes rotate the fingerprint and land on
+            # a different file name).  Only an unexplainable gap --
+            # truncated log, foreign timeline -- evicts.
+            explainable = isinstance(
+                entry_version, int
+            ) and database.changes_since(entry_version) is not None
+            if not explainable:
+                self._evict(path)
+                self.stale_evictions += 1
+                self.misses += 1
+                return None
+            self.delta_hits += 1
         tree = codec.decode("ftree", {}, payload)
         self.hits += 1
         self._touch(path)
@@ -282,6 +297,7 @@ class PlanStore:
             "hits": self.hits,
             "misses": self.misses,
             "writes": self.writes,
+            "delta_hits": self.delta_hits,
             "stale_evictions": self.stale_evictions,
             "gc_evictions": self.gc_evictions,
             "size": len(self),

@@ -20,6 +20,7 @@ from typing import (
     Tuple,
 )
 
+from repro.relational.delta import DEFAULT_CAPACITY, Delta, DeltaLog
 from repro.relational.relation import Relation
 from repro.relational.schema import RelationSchema, SchemaError
 
@@ -35,10 +36,15 @@ class Database:
     1
     """
 
-    def __init__(self, relations: Iterable[Relation] = ()) -> None:
+    def __init__(
+        self,
+        relations: Iterable[Relation] = (),
+        delta_log_capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
         self._relations: Dict[str, Relation] = {}
         self._attr_owner: Dict[str, str] = {}
         self._version = 0
+        self._delta_log = DeltaLog(capacity=delta_log_capacity)
         for relation in relations:
             self.add(relation)
 
@@ -51,6 +57,34 @@ class Database:
         they captured against the current one to detect staleness.
         """
         return self._version
+
+    @property
+    def delta_log(self) -> DeltaLog:
+        """The bounded log of recent mutations (see
+        :mod:`repro.relational.delta`)."""
+        return self._delta_log
+
+    def changes_since(self, version: int) -> Optional[List[Delta]]:
+        """The recorded deltas moving this database from ``version`` to
+        :attr:`version`, oldest first.
+
+        ``[]`` means nothing changed; ``None`` means the gap cannot be
+        explained from the retained log (truncation, a schema change in
+        the range, or a version from another timeline) and callers must
+        invalidate wholesale.  Every returned delta is data-only.
+        """
+        if version == self._version:
+            return []
+        if version > self._version:
+            return None
+        last = self._delta_log.last()
+        if last is None or last.version != self._version:
+            # The log does not reach the present -- e.g. the persist
+            # codec restored ``version`` directly after a load.  Only a
+            # log whose newest entry produced the current version can
+            # explain a gap ending here.
+            return None
+        return self._delta_log.since(version)
 
     def add(self, relation: Relation) -> Relation:
         """Register ``relation``; checks name/attribute uniqueness."""
@@ -66,6 +100,13 @@ class Database:
         for attr in relation.attributes:
             self._attr_owner[attr] = relation.name
         self._version += 1
+        self._delta_log.record(
+            Delta(
+                version=self._version,
+                relation=relation.name,
+                schema_change=True,
+            )
+        )
         return relation
 
     def add_rows(
@@ -103,6 +144,7 @@ class Database:
         and statistics over this database are invalidated.
         """
         old = self[name]
+        existing = set(old.rows)
         merged = self._store(
             Relation.from_rows(
                 name,
@@ -111,6 +153,15 @@ class Database:
             )
         )
         self._version += 1
+        self._delta_log.record(
+            Delta(
+                version=self._version,
+                relation=name,
+                inserted=tuple(
+                    row for row in merged.rows if row not in existing
+                ),
+            )
+        )
         return merged
 
     def delete_rows(
@@ -150,8 +201,18 @@ class Database:
         ]
         removed = len(old) - len(kept)
         if removed:
+            kept_set = set(kept)
             self._store(Relation(old.schema, kept))
             self._version += 1
+            self._delta_log.record(
+                Delta(
+                    version=self._version,
+                    relation=name,
+                    removed=tuple(
+                        row for row in old.rows if row not in kept_set
+                    ),
+                )
+            )
         return removed
 
     def update_rows(
@@ -195,10 +256,25 @@ class Database:
             else:
                 new_rows.append(row)
         if changed:
-            self._store(
+            rewritten_rel = self._store(
                 Relation.from_rows(name, old.attributes, new_rows)
             )
             self._version += 1
+            old_set, new_set = set(old.rows), set(rewritten_rel.rows)
+            self._delta_log.record(
+                Delta(
+                    version=self._version,
+                    relation=name,
+                    inserted=tuple(
+                        row
+                        for row in rewritten_rel.rows
+                        if row not in old_set
+                    ),
+                    removed=tuple(
+                        row for row in old.rows if row not in new_set
+                    ),
+                )
+            )
         return changed
 
     def add_renamed(

@@ -55,6 +55,7 @@ from repro.core.ftree import FTree
 from repro.costs.cardinality import Statistics, estimate_representation_size
 from repro.engine import FDB
 from repro.exec import Executor, SerialExecutor
+from repro.ivm import ResultCache
 from repro.optimiser.fplan import FPlan
 from repro.query.query import Query, QueryError, equality_partition
 from repro.relational.budget import Budget
@@ -82,6 +83,9 @@ class SessionStats:
     fplan_evictions: int = 0
     stats_builds: int = 0
     invalidations: int = 0
+    delta_refreshes: int = 0
+    result_hits: int = 0
+    result_misses: int = 0
     fallbacks: int = 0
     batch_queries: int = 0
     batch_deduped: int = 0
@@ -206,6 +210,12 @@ class QuerySession:
         plans are written through, giving cross-session and
         cross-process plan sharing.  Stale entries (other database
         version) are evicted by the store itself.
+    result_cache_size:
+        LRU bound of the delta-maintained result cache
+        (:mod:`repro.ivm`): unprojected factorised join results are
+        kept across data-only mutations and caught up by factorising
+        just the delta rows.  ``None`` = unbounded, ``0`` = disabled
+        (every query re-evaluates, the pre-IVM behaviour).
 
     >>> from repro.relational.database import Database
     >>> from repro.query.parser import parse_query
@@ -233,6 +243,7 @@ class QuerySession:
         cache_size: Optional[int] = None,
         plan_store: Optional["PlanStore"] = None,
         encoding: str = "object",
+        result_cache_size: Optional[int] = 64,
     ) -> None:
         self.database = database
         self.plan_search = plan_search
@@ -248,6 +259,13 @@ class QuerySession:
         self._sqlite: Optional[SQLiteEngine] = None
         self._submitter = None
         self._submitter_lock = threading.Lock()
+        #: Delta-maintained unprojected results (:mod:`repro.ivm`);
+        #: ``result_cache_size=0`` disables result caching entirely.
+        self._results: Optional[ResultCache] = (
+            ResultCache(result_cache_size)
+            if result_cache_size != 0
+            else None
+        )
         self._bind()
 
     # -- cache lifecycle ---------------------------------------------------
@@ -282,13 +300,49 @@ class QuerySession:
             encoding=self.encoding,
         )
         self._flat = RelationalEngine(self.database, budget=self.budget)
+        if self._results is not None:
+            self._results.clear()
         self.executor.invalidate()
 
     def _refresh(self) -> None:
-        """Invalidate every cache if the database mutated underneath."""
-        if self.database.version != self._version:
-            self.stats.invalidations += 1
+        """Bring the session up to date after database mutations.
+
+        A version move whose recorded deltas are data-only
+        (:meth:`~repro.relational.database.Database.changes_since`)
+        takes the *delta* path: compiled plans and cached results
+        survive -- plans stay valid under row-level change, results
+        are caught up lazily by the :class:`~repro.ivm.ResultCache` --
+        and only the derived per-version state (statistics, fallback
+        estimates, pools, the SQLite mirror) is dropped.  Schema
+        changes and unexplainable gaps fall back to the wholesale
+        :meth:`_bind`, the pre-IVM behaviour.
+        """
+        if self.database.version == self._version:
+            return
+        self.stats.invalidations += 1
+        if self.database.changes_since(self._version) is None:
             self._bind()
+            return
+        self.stats.delta_refreshes += 1
+        self._version = self.database.version
+        self._statistics = None
+        if self._sqlite is not None:
+            self._sqlite.close()
+            self._sqlite = None
+        for plan in self._plans.values():
+            plan.estimated_size = None
+        if self.cost_model == "estimates":
+            # The engine pins a statistics catalogue; rebuild it over
+            # fresh statistics so estimate-based costs track the data.
+            self._fdb = FDB(
+                self.database,
+                plan_search=self.plan_search,
+                check_invariants=self.check_invariants,
+                cost_model=self.cost_model,
+                statistics=self.statistics(),
+                encoding=self.encoding,
+            )
+        self.executor.invalidate()
 
     def statistics(self) -> Statistics:
         """The session's statistics catalogue (built at most once per
@@ -303,10 +357,16 @@ class QuerySession:
         return len(self._plans) + len(self._fplans)
 
     def cache_counters(self) -> Dict[str, Dict[str, int]]:
-        """Hit/miss/eviction/size counters of both plan caches."""
+        """Counters of the plan caches and the delta-maintained
+        result cache (zeros when result caching is disabled)."""
         return {
             "plans": self._plans.counters(),
             "fplans": self._fplans.counters(),
+            "results": (
+                self._results.counters()
+                if self._results is not None
+                else ResultCache().counters()
+            ),
         }
 
     def close(self) -> None:
@@ -543,7 +603,17 @@ class QuerySession:
         plan, hit = self.compile(query)
         if engine == "auto" and self._would_explode(plan):
             return self._fallback_result(query, start, cached=hit)
+        served = self._serve_cached(query)
+        if served is not None:
+            return SessionResult(
+                query=query,
+                engine="fdb",
+                cached=True,
+                elapsed=time.perf_counter() - start,
+                factorised=served,
+            )
         fr = self._fdb.factorise_query(query, tree=plan.tree)
+        self._cache_result(query, plan.tree, fr)
         if query.projection is not None:
             fr = ops.project(fr, query.projection)
             if self.check_invariants:
@@ -594,6 +664,51 @@ class QuerySession:
             raw=rows,
             raw_attributes=columns,
         )
+
+    def _serve_cached(
+        self, query: Query
+    ) -> Optional[FactorisedRelation]:
+        """Executor hook: serve ``query`` from the delta-maintained
+        result cache, or ``None`` on a miss.
+
+        The cache stores unprojected join results (union of delta
+        terms does not commute with projection, see
+        :mod:`repro.ivm.maintain`); the projection is applied here,
+        at serve time.  A version-lagging entry is caught up -- only
+        the fresh rows are factorised and unioned in -- before being
+        served, so answers are always current.
+        """
+        if self._results is None:
+            return None
+        entry = self._results.lookup(
+            query,
+            self.database,
+            encoding=self.encoding,
+            check_invariants=self.check_invariants,
+        )
+        if entry is None:
+            self.stats.result_misses += 1
+            return None
+        self.stats.result_hits += 1
+        fr = entry.result
+        if query.projection is not None:
+            pkey = tuple(query.projection)
+            memo = entry.projected.get(pkey)
+            if memo is not None and memo[0] == entry.version:
+                return memo[1]
+            fr = ops.project(fr, query.projection)
+            if self.check_invariants:
+                fr.validate()
+            entry.projected[pkey] = (entry.version, fr)
+        return fr
+
+    def _cache_result(
+        self, query: Query, tree: FTree, fr: FactorisedRelation
+    ) -> None:
+        """Executor hook: cache a freshly evaluated **unprojected**
+        join result for delta maintenance (no-op when disabled)."""
+        if self._results is not None:
+            self._results.store(query, self.database, tree, fr)
 
     def _wrap_fdb_result(
         self,

@@ -24,9 +24,15 @@ Partitioning strategies
     tuples in lexicographic order, and balanced by construction.
 
 Every mutation (insert, delete, update) goes through the merged view
-first -- reusing the ``Database`` mutation semantics and its
-``version`` counter -- and then rebuilds the affected relation's
-partitions, so shards never drift from the catalogue.
+first -- reusing the ``Database`` mutation semantics, its ``version``
+counter and its recorded delta -- and then repartitions.  Under the
+``hash`` strategy repartitioning is *incremental*: placement is
+content-addressed, so the recorded delta's inserted/removed rows are
+routed to exactly the shards their content names and every other
+partition is left untouched (``repartitions_delta``); ``round_robin``
+placement depends on global row positions and falls back to wholesale
+rebuilds (``repartitions_full``).  Either way shards never drift from
+the catalogue.
 
 The per-shard evaluation contract used by :mod:`repro.exec`:
 :meth:`ShardedDatabase.shard_view` builds a plain ``Database`` holding
@@ -41,7 +47,7 @@ fan-out row.
 from __future__ import annotations
 
 import zlib
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.costs.cardinality import Statistics
 from repro.relational.database import Database
@@ -101,6 +107,11 @@ class ShardedDatabase(Database):
         ]
         self._shard_stats: List[Optional[Statistics]] = [None] * shards
         self._shard_stats_version = -1
+        #: Monotone repartition counters: ``full`` counts wholesale
+        #: per-relation rebuilds (:meth:`_partition`), ``delta`` counts
+        #: incremental routings that touched only affected shards.
+        self.repartitions_full = 0
+        self.repartitions_delta = 0
         super().__init__(relations)
 
     @classmethod
@@ -172,17 +183,14 @@ class ShardedDatabase(Database):
     def extend_rows(
         self, name: str, rows: Iterable[Sequence[object]]
     ) -> Relation:
-        rows = [tuple(row) for row in rows]
         if self.strategy == "hash":
             # Append fast path: hash placement is content-based, so
-            # existing rows cannot move -- route only the new rows to
-            # their shards instead of re-hashing the whole relation.
-            old = self[name]
-            fresh = sorted(
-                {row for row in rows if row not in old}
-            )
+            # existing rows cannot move -- route only the genuinely
+            # fresh rows (read off the recorded delta) to their shards
+            # instead of re-hashing the whole relation.
             merged = super().extend_rows(name, rows)
-            self._route_appended(name, fresh)
+            self._route_appended(name, self.delta_log.last().inserted)
+            self.repartitions_delta += 1
             return merged
         # Round-robin placement depends on every row's global sorted
         # position, which an insert shifts: full rebuild required.
@@ -216,16 +224,52 @@ class ShardedDatabase(Database):
     def delete_rows(self, name, rows=None, where=None) -> int:
         removed = super().delete_rows(name, rows=rows, where=where)
         if removed:
-            self._partition(name)
+            if self.strategy == "hash":
+                # A deleted row is found on the shard its content
+                # names: drop the recorded rows from just those
+                # shards, leaving the others untouched.
+                self._route_removed(name, self.delta_log.last().removed)
+                self.repartitions_delta += 1
+            else:
+                self._partition(name)
         return removed
 
     def update_rows(self, name, where, updates) -> int:
         changed = super().update_rows(name, where, updates)
         if changed:
-            # Content-addressed placement: rewritten rows may hash to
-            # a different shard, so rebuild the partitions.
-            self._partition(name)
+            if self.strategy == "hash":
+                # An update is a remove+insert pair on the recorded
+                # delta; the rewritten rows may hash to *different*
+                # shards than the originals, and routing both sides
+                # touches exactly the affected partitions.
+                delta = self.delta_log.last()
+                self._route_removed(name, delta.removed)
+                self._route_appended(name, delta.inserted)
+                self.repartitions_delta += 1
+            else:
+                self._partition(name)
         return changed
+
+    def _route_removed(
+        self, name: str, removed: Sequence[Tuple[object, ...]]
+    ) -> None:
+        """Drop removed rows from the hash shards that hold them."""
+        count = len(self._shard_dbs)
+        buckets: List[set] = [set() for _ in range(count)]
+        for row in removed:
+            buckets[stable_row_hash(row) % count].add(row)
+        schema = self[name].schema
+        for index, doomed in enumerate(buckets):
+            if not doomed:
+                continue  # untouched shards keep their partition
+            shard_db = self._shard_dbs[index]
+            part = shard_db[name]
+            shard_db._store(
+                Relation(
+                    schema,
+                    [row for row in part.rows if row not in doomed],
+                )
+            )
 
     def _partition(self, name: str) -> None:
         """Rebuild every shard's partition of ``name`` from the merged
@@ -250,6 +294,15 @@ class ShardedDatabase(Database):
             else:
                 shard_db.add(part)
         self._shard_stats = [None] * count
+        self.repartitions_full += 1
+
+    def repartition_counters(self) -> Dict[str, int]:
+        """How partitions have been maintained: ``full`` wholesale
+        rebuilds vs ``delta`` incremental routings."""
+        return {
+            "full": self.repartitions_full,
+            "delta": self.repartitions_delta,
+        }
 
     # -- fan-out choice ----------------------------------------------------
 
