@@ -45,6 +45,7 @@ visits them.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from array import array
 from itertools import accumulate
@@ -79,6 +80,90 @@ class ArenaError(FRepError):
 
 def _i64() -> array:
     return array("q")
+
+
+def _extend_ids(dest: array, source, lo: int, hi: int) -> None:
+    """Append ``source[lo:hi]`` (an ``array('q')`` or an int64 ndarray,
+    e.g. an mmap-backed column view) to ``dest`` verbatim."""
+    if _np is not None and isinstance(source, _np.ndarray):
+        dest.frombytes(source[lo:hi].tobytes())
+    else:
+        dest.extend(source[lo:hi])
+
+
+def _as_np(column):
+    """An int64 ndarray view of a column (``None`` without numpy)."""
+    if _np is None:
+        return None
+    if isinstance(column, _np.ndarray):
+        return column
+    return _np.frombuffer(column, dtype=_np.int64)
+
+
+class ValuePool:
+    """A shareable, append-only interned-value pool.
+
+    Ordinary arenas own a plain ``list`` pool; a :class:`ValuePool` is
+    the *shared* variant: many arenas (every shard result of one
+    database, every column batch on one wire connection) reference the
+    same pool object, so their value ids are directly comparable and
+    :func:`repro.ops.arena_kernels.union_arena` can merge columns
+    without any id remapping.  Interning is thread-safe (shard workers
+    and the server's task pool intern concurrently); reads are
+    lock-free, misses take a lock.  Ids are never remapped or removed
+    -- :meth:`ArenaWriter.finish` skips its pool compaction for shared
+    pools -- so ids handed out remain valid forever.
+    """
+
+    __slots__ = ("_values", "_intern", "_lock")
+
+    def __init__(self, values: Sequence[object] = ()) -> None:
+        self._values: List[object] = list(values)
+        self._intern: Dict[type, Dict[object, int]] = {}
+        self._lock = threading.Lock()
+        for vid, value in enumerate(self._values):
+            table = self._intern.setdefault(value.__class__, {})
+            table.setdefault(value, vid)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __getitem__(self, vid):
+        return self._values[vid]
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._values)
+
+    def intern(self, value: object) -> int:
+        table = self._intern.get(value.__class__)
+        if table is not None:
+            vid = table.get(value)
+            if vid is not None:
+                return vid
+        with self._lock:
+            # Re-check under the lock: another thread may have interned
+            # the value (or created the type table) since the fast path.
+            table = self._intern.get(value.__class__)
+            if table is None:
+                table = self._intern[value.__class__] = {}
+            vid = table.get(value)
+            if vid is None:
+                vid = len(self._values)
+                self._values.append(value)
+                table[value] = vid
+            return vid
+
+    def values_since(self, base: int) -> List[object]:
+        """The values appended at ids ``base..`` (for wire deltas)."""
+        return self._values[base:]
+
+    def __reduce__(self):
+        # Pickling (process-pool task results) drops the lock and the
+        # sharing identity: the receiving process gets its own pool.
+        return (ValuePool, (list(self._values),))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ValuePool(len={len(self._values)})"
 
 
 # -- skeleton: the per-tree node layout --------------------------------------
@@ -265,9 +350,17 @@ class ArenaWriter:
     per descendant column).
     """
 
-    __slots__ = ("skel", "values", "child_lo", "child_hi", "pool", "_intern")
+    __slots__ = (
+        "skel",
+        "values",
+        "child_lo",
+        "child_hi",
+        "pool",
+        "_intern",
+        "_shared",
+    )
 
-    def __init__(self, tree_or_skel) -> None:
+    def __init__(self, tree_or_skel, pool: Optional[ValuePool] = None) -> None:
         skel = (
             tree_or_skel
             if isinstance(tree_or_skel, _Skeleton)
@@ -282,6 +375,11 @@ class ArenaWriter:
         self.child_hi: List[List[array]] = [
             [_i64() for _ in skel.children[i]] for i in range(n)
         ]
+        self._shared = pool is not None
+        if self._shared:
+            self.pool = pool  # type: ignore[assignment]
+            self._intern = None  # type: ignore[assignment]
+            return
         self.pool: List[object] = []
         # One intern table per value *type*: True == 1 and 1.0 == 1
         # must not collapse into one pool slot (decoding would change
@@ -294,6 +392,8 @@ class ArenaWriter:
         return self.skel.index
 
     def intern(self, value: object) -> int:
+        if self._shared:
+            return self.pool.intern(value)  # type: ignore[union-attr]
         table = self._intern.get(value.__class__)
         if table is None:
             table = self._intern[value.__class__] = {}
@@ -338,6 +438,12 @@ class ArenaWriter:
         """Fast path: append a whole leaf union (no children, no marks)."""
         if not leaf_values:
             return
+        if self._shared:
+            pool_intern = self.pool.intern  # type: ignore[union-attr]
+            self.values[idx].extend(
+                pool_intern(value) for value in leaf_values
+            )
+            return
         # Candidate lists are homogeneous in practice: resolve the
         # per-type intern table once per union, not once per value.
         table = self._intern.get(leaf_values[0].__class__)
@@ -361,8 +467,18 @@ class ArenaWriter:
 
         Rollbacks may leave interned values no surviving entry uses;
         remapping ids to first-use order keeps the pool tight and the
-        encoding deterministic for a given construction order.
+        encoding deterministic for a given construction order.  A
+        *shared* :class:`ValuePool` is never compacted: its ids are
+        also referenced by other arenas.
         """
+        if self._shared:
+            return ArenaRep(
+                self.skel,
+                self.values,
+                self.child_lo,
+                self.child_hi,
+                self.pool,
+            )
         remap: Dict[int, int] = {}
         pool: List[object] = []
         for column in self.values:
@@ -985,6 +1101,30 @@ def _extend_offset(dest: array, source: array, lo: int, hi: int, delta: int) -> 
         dest.extend(x + delta for x in source[lo:hi])
 
 
+def _keep_lookup(
+    arena: ArenaRep, target: int, predicate: Callable[[object], bool]
+):
+    """A per-value-id keep table for ``target``'s column.
+
+    The predicate runs once per *distinct id actually present* in the
+    column (never over the whole pool: a shared pool holds values of
+    every attribute, on which the predicate could be meaningless), and
+    the per-entry test collapses into an integer table lookup.
+    """
+    column = arena.values[target]
+    pool = arena.pool
+    if _np is not None:
+        col = _as_np(column)
+        keep = _np.zeros(len(pool), dtype=bool)
+        for vid in _np.unique(col).tolist():
+            keep[vid] = bool(predicate(pool[vid]))
+        return keep, col
+    keep_dict: Dict[int, bool] = {}
+    for vid in set(column):
+        keep_dict[vid] = bool(predicate(pool[vid]))
+    return keep_dict, None
+
+
 def select_filter(
     arena: ArenaRep,
     attribute: str,
@@ -992,11 +1132,15 @@ def select_filter(
 ) -> Optional[ArenaRep]:
     """Keep only the entries of ``attribute``'s node passing
     ``predicate``, cascading the pruning of emptied unions upward --
-    the arena kernel behind non-equality constant selections.
+    the arena kernel behind constant selections.
 
     Subtrees that cannot contain the target node are copied wholesale
     (contiguous column slices with offset fix-up) instead of entry by
-    entry.  Returns ``None`` when the whole relation empties.
+    entry, and the predicate itself is vectorised: it runs once per
+    distinct value id, the resulting boolean mask over the target
+    column is compacted into maximal kept runs, and each run is
+    bulk-copied (values, child ranges and subtrees alike).  Returns
+    ``None`` when the whole relation empties.
     """
     skel = arena.skel
     target = skel.node_of_attr(attribute)
@@ -1013,8 +1157,10 @@ def select_filter(
     # The output shares the input pool: value ids are copied verbatim.
     writer.pool = pool  # type: ignore[attr-defined]
 
+    keep, target_np = _keep_lookup(arena, target, predicate)
+
     def copy_bulk(idx: int, lo: int, hi: int) -> None:
-        new_values[idx].extend(arena.values[idx][lo:hi])
+        _extend_ids(new_values[idx], arena.values[idx], lo, hi)
         for j, k in enumerate(skel.children[idx]):
             los = arena.child_lo[idx][j]
             his = arena.child_hi[idx][j]
@@ -1025,7 +1171,41 @@ def select_filter(
             _extend_offset(new_hi[idx][j], his, lo, hi, delta)
             copy_bulk(k, child_lo, child_hi)
 
+    def copy_target(lo: int, hi: int) -> bool:
+        """Mask the target occurrence, bulk-copy the kept runs."""
+        if target_np is not None:
+            mask = keep[target_np[lo:hi]]
+            if mask.all():
+                copy_bulk(target, lo, hi)
+                return True
+            hits = _np.flatnonzero(mask)
+            if not len(hits):
+                return False
+            # Compact consecutive hits into [start, stop) runs.
+            breaks = _np.flatnonzero(_np.diff(hits) > 1) + 1
+            for run in _np.split(hits, breaks):
+                copy_bulk(
+                    target, lo + int(run[0]), lo + int(run[-1]) + 1
+                )
+            return True
+        column = arena.values[target]
+        kept = False
+        e = lo
+        while e < hi:
+            if not keep[column[e]]:
+                e += 1
+                continue
+            stop = e + 1
+            while stop < hi and keep[column[stop]]:
+                stop += 1
+            copy_bulk(target, e, stop)
+            kept = True
+            e = stop
+        return kept
+
     def copy_union(idx: int, lo: int, hi: int) -> bool:
+        if idx == target:
+            return copy_target(lo, hi)
         if not on_path[idx]:
             copy_bulk(idx, lo, hi)
             return True
@@ -1033,8 +1213,6 @@ def select_filter(
         kids = skel.children[idx]
         kept = False
         for e in range(lo, hi):
-            if idx == target and not predicate(pool[column[e]]):
-                continue
             marks = writer.mark(idx)
             ok = True
             for j, k in enumerate(kids):

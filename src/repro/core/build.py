@@ -182,9 +182,15 @@ class ArenaFactoriser(Factoriser):
     same representation.
     """
 
-    def run(self) -> Optional[ArenaRep]:  # type: ignore[override]
-        """Compute the arena representation; ``None`` when empty."""
-        writer = ArenaWriter(self.tree)
+    def run(self, pool=None) -> Optional[ArenaRep]:  # type: ignore[override]
+        """Compute the arena representation; ``None`` when empty.
+
+        ``pool`` interns values into a shared :class:`~repro.core.
+        arena.ValuePool` (e.g. one pool per worker process) instead of
+        a private per-arena pool, so arenas built for different shards
+        recombine by id without re-interning.
+        """
+        writer = ArenaWriter(self.tree, pool)
         if not self._emit_forest(self.tree.roots, {}, writer):
             return None
         return writer.finish()
@@ -226,12 +232,18 @@ def factorise(
     relations: Sequence[Relation],
     tree: FTree,
     encoding: str = "object",
+    pool=None,
 ) -> Optional[Union[ProductRep, ArenaRep]]:
-    """One-shot factorisation in the requested physical encoding."""
+    """One-shot factorisation in the requested physical encoding.
+
+    ``pool`` (arena encoding only) interns values into a shared
+    :class:`~repro.core.arena.ValuePool` -- see
+    :meth:`ArenaFactoriser.run`.
+    """
     if encoding == "object":
         return Factoriser(relations, tree).run()
     if encoding == "arena":
-        return ArenaFactoriser(relations, tree).run()
+        return ArenaFactoriser(relations, tree).run(pool)
     raise ValueError(
         f"unknown encoding {encoding!r}; pick one of {ENCODINGS}"
     )

@@ -26,7 +26,8 @@ columns.  All logical-view methods run on the primary encoding.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple, Union
+import threading
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core import arena as arena_mod
 from repro.core.arena import ArenaRep
@@ -59,6 +60,63 @@ def _unset() -> "_Unset":
 
 
 _UNSET = _Unset()
+
+
+class AdapterCounters:
+    """Process-wide tallies of arena<->object adapter conversions.
+
+    The whole point of the arena-native pipeline is that these stay at
+    zero on the hot path; they are surfaced in session/server STATS and
+    gated by ``benchmarks/bench_plan_pipeline.py`` so an operator that
+    silently falls back to the object encoding shows up as a counted
+    (and benchmark-failing) regression rather than a quiet slowdown.
+    """
+
+    __slots__ = (
+        "_lock",
+        "to_object_calls",
+        "to_arena_calls",
+        "bytes_to_object",
+        "bytes_to_arena",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.reset()
+
+    def reset(self) -> None:
+        self.to_object_calls = 0
+        self.to_arena_calls = 0
+        self.bytes_to_object = 0
+        self.bytes_to_arena = 0
+
+    def note_to_object(self, nbytes: int) -> None:
+        with self._lock:
+            self.to_object_calls += 1
+            self.bytes_to_object += nbytes
+
+    def note_to_arena(self, nbytes: int) -> None:
+        with self._lock:
+            self.to_arena_calls += 1
+            self.bytes_to_arena += nbytes
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "to_object_calls": self.to_object_calls,
+                "to_arena_calls": self.to_arena_calls,
+                "bytes_to_object": self.bytes_to_object,
+                "bytes_to_arena": self.bytes_to_arena,
+            }
+
+    @property
+    def round_trips(self) -> int:
+        """Conversions out of the arena encoding (the costly direction)."""
+        return self.to_object_calls
+
+
+#: Module-level adapter instrumentation (one per process/worker).
+ADAPTER = AdapterCounters()
 
 
 class FactorisedRelation:
@@ -109,7 +167,9 @@ class FactorisedRelation:
     def data(self) -> Optional[ProductRep]:
         """The object encoding (materialised from the arena on demand)."""
         if self._object is _UNSET:
-            self._object = arena_mod.to_product(self._arena)
+            rep = self._arena
+            ADAPTER.note_to_object(0 if rep is None else rep.nbytes())
+            self._object = arena_mod.to_product(rep)
         return self._object  # type: ignore[return-value]
 
     @property
@@ -117,6 +177,8 @@ class FactorisedRelation:
         """The arena encoding (materialised from the objects on demand)."""
         if self._arena is _UNSET:
             self._arena = arena_mod.from_product(self.tree, self._object)
+            rep = self._arena
+            ADAPTER.note_to_arena(0 if rep is None else rep.nbytes())
         return self._arena  # type: ignore[return-value]
 
     def to_arena(self) -> "FactorisedRelation":

@@ -72,6 +72,7 @@ class FDB:
         cost_model: str = "asymptotic",
         statistics=None,
         encoding: str = "object",
+        shared_pool=None,
     ) -> None:
         if plan_search not in ("exhaustive", "greedy"):
             raise ValueError(f"unknown plan search {plan_search!r}")
@@ -90,6 +91,10 @@ class FDB:
         self.check_invariants = check_invariants
         self.cost_model = cost_model
         self.encoding = encoding
+        # Arena encoding only: intern values into this shared
+        # ValuePool (one per worker/connection) so independently built
+        # results recombine by id -- see ArenaFactoriser.run.
+        self.shared_pool = shared_pool
         # ``statistics`` lets a session share one catalogue across
         # engines instead of rescanning the database per engine.
         self._stats = statistics
@@ -127,7 +132,9 @@ class FDB:
                 if cond.attribute in relation.schema:
                     relation = flat_select(relation, cond)
             relations.append(relation)
-        data = factorise(relations, tree, encoding=self.encoding)
+        data = factorise(
+            relations, tree, encoding=self.encoding, pool=self.shared_pool
+        )
         if self.encoding == "arena":
             fr = FactorisedRelation(tree, arena=data)
         else:

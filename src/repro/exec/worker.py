@@ -17,9 +17,11 @@ spawns a fresh one against the new snapshot (see
 from __future__ import annotations
 
 import time
+import weakref
 from typing import Dict, Tuple
 
 from repro import ops
+from repro.core.arena import ValuePool
 from repro.core.factorised import FactorisedRelation
 from repro.core.ftree import FTree
 from repro.engine import FDB
@@ -28,6 +30,28 @@ from repro.storage.sharded import ShardedDatabase
 
 #: Per-process state, populated by :func:`init_worker`.
 _STATE: Dict[str, object] = {}
+
+#: Per-process shared value pools, one per database snapshot: every
+#: arena built against the same snapshot (all shards, all queries)
+#: interns into one pool, so per-shard results recombine by id in
+#: ``ops.union`` without re-interning.  Weakly keyed so a discarded
+#: snapshot releases its pool; keyed by version so a mutated database
+#: gets a fresh pool instead of accreting dead values.
+_POOLS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def shared_pool_for(database) -> ValuePool:
+    """The process-wide shared intern pool for ``database``."""
+    version = getattr(database, "version", None)
+    cached = _POOLS.get(database)
+    if cached is not None and cached[0] == version:
+        return cached[1]
+    pool = ValuePool()
+    try:
+        _POOLS[database] = (version, pool)
+    except TypeError:  # not weak-referenceable: fall back, uncached
+        pass
+    return pool
 
 
 def init_worker(
@@ -149,7 +173,12 @@ def evaluate_join(
     inside.  The unprojected form is what the coordinator's result
     cache keeps for delta maintenance."""
     engine = FDB(
-        database, check_invariants=check_invariants, encoding=encoding
+        database,
+        check_invariants=check_invariants,
+        encoding=encoding,
+        shared_pool=(
+            shared_pool_for(database) if encoding == "arena" else None
+        ),
     )
     return engine.factorise_query(query, tree=tree)
 
@@ -195,7 +224,15 @@ def evaluate_shard(
     """
     view = database.shard_view(index, fanout)
     engine = FDB(
-        view, check_invariants=check_invariants, encoding=encoding
+        view,
+        check_invariants=check_invariants,
+        encoding=encoding,
+        # Key the pool on the sharded parent: every shard of a
+        # snapshot interns into the same pool, which is what makes the
+        # coordinator-side union recombine ids verbatim.
+        shared_pool=(
+            shared_pool_for(database) if encoding == "arena" else None
+        ),
     )
     return engine.factorise_query(query, tree=tree)
 

@@ -168,11 +168,17 @@ def apply_deltas(
             encoding=encoding,
             check_invariants=check_invariants,
         )
-        result = ops.union(result, extra)
         if check_invariants:
-            result.validate()
+            # Validate the small appended piece per merge; the full
+            # unioned result is checked once after the loop.  (A full
+            # validate per merge made a k-delta batch cost k scans of
+            # the whole cached result.)
+            extra.validate()
+        result = ops.union(result, extra)
         merges += 1
         rows_in += len(delta.inserted)
+    if check_invariants and merges:
+        result.validate()
     entry.result = result
     entry.version = database.version
     entry.deltas_applied += len(deltas)

@@ -86,6 +86,13 @@ class RemoteSession:
         Seconds to wait for the TCP connect plus the server hello.
     max_frame:
         Reject inbound frames larger than this.
+    wire_pool:
+        Opt into the shared wire value pool (on by default, used only
+        when the server advertises it): arena-encoded results arrive
+        as columns over one per-connection interned pool, shipped
+        incrementally, and all results on this connection share the
+        receiver pool -- so shard parts recombine by id in
+        ``ops.union``.  Set false to force plain self-contained blobs.
     """
 
     def __init__(
@@ -94,6 +101,7 @@ class RemoteSession:
         timeout: Optional[float] = 60.0,
         connect_timeout: float = 10.0,
         max_frame: int = DEFAULT_MAX_FRAME,
+        wire_pool: bool = True,
     ) -> None:
         self.address = parse_address(address)
         self.timeout = timeout
@@ -128,6 +136,13 @@ class RemoteSession:
         #: The server's hello header: protocol version, encoding,
         #: shard layout, relation names, database version.
         self.server_info: Dict[str, Any] = hello[1]
+        #: The connection's shared wire pool (decoder side); responses
+        #: are decoded on the single reader thread, in arrival order,
+        #: which is exactly the order the server cut the pool deltas.
+        self._wire_pool = bool(
+            wire_pool and self.server_info.get("wire_pool")
+        )
+        self._pool_dec = protocol.ArenaPoolDecoder()
         self._sock.settimeout(None)
         self._reader = threading.Thread(
             target=self._read_loop, name="repro-net-client", daemon=True
@@ -308,6 +323,13 @@ class RemoteSession:
     ) -> Tuple[int, Future]:
         rid = next(self._ids)
         future: Future = Future()
+        if self._wire_pool and kind in (
+            "query",
+            "batch",
+            "shard",
+            "execute",
+        ):
+            header = {**header, "pool": True}
         with self._state_lock:
             if self._closed:
                 raise NetError("session is closed")
@@ -365,7 +387,11 @@ class RemoteSession:
         with self._state_lock:
             entry = self._pending.pop(rid, None)
         if entry is None:
-            return  # response to a request we gave up on
+            # Response to a request we gave up on: its pooled payloads
+            # still carry pool deltas the stream depends on -- absorb
+            # them, or every later pooled result would desync.
+            self._absorb_orphan(kind, header, payload)
+            return
         future, context = entry
         try:
             future.set_result(
@@ -373,6 +399,27 @@ class RemoteSession:
             )
         except Exception as exc:
             future.set_exception(exc)
+
+    def _absorb_orphan(
+        self, kind: str, header: Dict[str, Any], payload: bytes
+    ) -> None:
+        """Apply the pool deltas of a response nobody is waiting for."""
+        try:
+            if kind == "result":
+                if header.get("payload") == "fdbp-pool":
+                    self._pool_dec.decode(payload)
+            elif kind == "batch-result":
+                offset = 0
+                for meta in header.get("results") or []:
+                    nbytes = int(meta.get("nbytes", 0))
+                    part = payload[offset : offset + nbytes]
+                    offset += nbytes
+                    if meta.get("payload") == "fdbp-pool":
+                        self._pool_dec.decode(part)
+        except Exception:
+            # A malformed orphan leaves the pool where it was; the
+            # next pooled decode will report the desync loudly.
+            pass
 
     def _decode(
         self,
@@ -388,9 +435,14 @@ class RemoteSession:
             )
         shape = context[0] if context else None
         if kind == "result" and shape == "result":
-            return protocol.unpack_result(context[1], header, payload)
+            return protocol.unpack_result(
+                context[1], header, payload, self._pool_dec
+            )
         if kind == "result" and shape == "part":
-            fr = protocol.unpack_blob(payload)
+            if header.get("payload") == "fdbp-pool":
+                fr = protocol.unpack_pooled(payload, self._pool_dec)
+            else:
+                fr = protocol.unpack_blob(payload)
             if not isinstance(fr, FactorisedRelation):
                 raise NetError(
                     f"worker returned a {type(fr).__name__}, not a "
@@ -399,7 +451,7 @@ class RemoteSession:
             return float(header.get("elapsed", 0.0)), fr
         if kind == "batch-result" and shape == "batch":
             return protocol.unpack_results(
-                context[1], header["results"], payload
+                context[1], header["results"], payload, self._pool_dec
             )
         if kind == "stats-result" and shape == "stats":
             return header

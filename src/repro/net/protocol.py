@@ -35,6 +35,14 @@ where ``meta["payload"]`` says how to read the bytes back:
 
 - ``"fdbp"``  -- one self-describing FDBP blob (``factorised``,
   ``arena`` or ``relation`` kind; the blob's own header dispatches);
+- ``"fdbp-pool"`` -- an arena result against the connection's shared
+  value pool (:class:`~repro.persist.codec.ArenaPoolEncoder`): the
+  pool ships once per connection as incremental deltas, columns
+  reference it by id, and every decoded arena on the connection
+  shares the receiver pool -- so streamed shard parts recombine in
+  ``ops.union`` without re-interning.  Clients opt in per request
+  with ``"pool": true``; either side falling back to ``"fdbp"`` is
+  always legal;
 - ``"rows"``  -- tagged value rows (the SQLite comparator's raw
   tuples, which have no factorised form);
 - ``"none"``  -- no payload (errors, pure-counter responses).
@@ -55,6 +63,8 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.core.factorised import FactorisedRelation
 from repro.persist import codec
 from repro.persist.codec import (
+    ArenaPoolDecoder,
+    ArenaPoolEncoder,
     PersistError,
     _read_varint,
     _write_varint,
@@ -275,8 +285,30 @@ def unpack_blob(data: bytes) -> object:
         raise ProtocolError(f"malformed FDBP payload: {exc}") from exc
 
 
-def pack_result(result: SessionResult) -> Tuple[Dict[str, Any], bytes]:
-    """(meta, payload) for one evaluated query (see module docstring)."""
+def unpack_pooled(
+    payload: bytes, pool: Optional[ArenaPoolDecoder]
+) -> FactorisedRelation:
+    """Decode one ``fdbp-pool`` payload against the connection pool."""
+    if pool is None:
+        raise ProtocolError(
+            "received a pooled arena payload on a connection that "
+            "did not request wire pooling"
+        )
+    try:
+        return pool.decode(payload)
+    except PersistError as exc:
+        raise ProtocolError(f"malformed pooled payload: {exc}") from exc
+
+
+def pack_result(
+    result: SessionResult, pool: Optional[ArenaPoolEncoder] = None
+) -> Tuple[Dict[str, Any], bytes]:
+    """(meta, payload) for one evaluated query (see module docstring).
+
+    With ``pool``, arena-encoded factorised results go out in the
+    pooled form; the caller owns the encoder's commit/rollback (the
+    watermark may only advance once the frame actually went out).
+    """
     meta: Dict[str, Any] = {
         "engine": result.engine,
         "cached": result.cached,
@@ -284,6 +316,9 @@ def pack_result(result: SessionResult) -> Tuple[Dict[str, Any], bytes]:
         "elapsed": result.elapsed,
     }
     if result.factorised is not None:
+        if pool is not None and result.factorised.encoding == "arena":
+            meta["payload"] = "fdbp-pool"
+            return meta, pool.encode(result.factorised)
         meta["payload"] = "fdbp"
         return meta, pack_blob(result.factorised)
     if result.flat is not None:
@@ -296,7 +331,10 @@ def pack_result(result: SessionResult) -> Tuple[Dict[str, Any], bytes]:
 
 
 def unpack_result(
-    query: Query, meta: Dict[str, Any], payload: bytes
+    query: Query,
+    meta: Dict[str, Any],
+    payload: bytes,
+    pool: Optional[ArenaPoolDecoder] = None,
 ) -> SessionResult:
     """Rebuild the :class:`SessionResult` a server packed."""
     try:
@@ -307,6 +345,15 @@ def unpack_result(
         payload_kind = meta["payload"]
     except (KeyError, TypeError, ValueError) as exc:
         raise ProtocolError(f"malformed result meta: {meta!r}") from exc
+    if payload_kind == "fdbp-pool":
+        return SessionResult(
+            query=query,
+            engine=engine,
+            cached=cached,
+            deduped=deduped,
+            elapsed=elapsed,
+            factorised=unpack_pooled(payload, pool),
+        )
     if payload_kind == "fdbp":
         obj = unpack_blob(payload)
         if isinstance(obj, FactorisedRelation):
@@ -347,13 +394,15 @@ def unpack_result(
 
 def pack_results(
     results: List[SessionResult],
+    pool: Optional[ArenaPoolEncoder] = None,
 ) -> Tuple[List[Dict[str, Any]], bytes]:
     """Frame a whole batch: per-result metas (with byte extents) plus
-    the concatenated payloads."""
+    the concatenated payloads.  Pooled payloads within one batch chain
+    their deltas in order; the decoder replays them the same way."""
     metas: List[Dict[str, Any]] = []
     parts: List[bytes] = []
     for result in results:
-        meta, payload = pack_result(result)
+        meta, payload = pack_result(result, pool)
         meta["nbytes"] = len(payload)
         metas.append(meta)
         parts.append(payload)
@@ -361,7 +410,10 @@ def pack_results(
 
 
 def unpack_results(
-    queries: List[Query], metas: List[Dict[str, Any]], payload: bytes
+    queries: List[Query],
+    metas: List[Dict[str, Any]],
+    payload: bytes,
+    pool: Optional[ArenaPoolDecoder] = None,
 ) -> List[SessionResult]:
     if len(queries) != len(metas):
         raise ProtocolError(
@@ -380,7 +432,9 @@ def unpack_results(
         if nbytes < 0 or offset + nbytes > len(payload):
             raise ProtocolError("batch payload extents out of range")
         out.append(
-            unpack_result(query, meta, payload[offset : offset + nbytes])
+            unpack_result(
+                query, meta, payload[offset : offset + nbytes], pool
+            )
         )
         offset += nbytes
     if offset != len(payload):

@@ -194,6 +194,10 @@ class QueryServer:
             "strategy": database.strategy if sharded else None,
             "relations": sorted(database.names),
             "db_version": database.version,
+            # Arena results can travel against a per-connection shared
+            # value pool ("pool": true on the request) -- see
+            # repro.persist.codec.ArenaPoolEncoder.
+            "wire_pool": True,
         }
 
     async def _handle(
@@ -203,6 +207,11 @@ class QueryServer:
         self.stats.active_connections += 1
         self._writers.add(writer)
         lock = asyncio.Lock()
+        # One shared wire pool per connection: requests flagged
+        # "pool": true get arena results as incremental deltas against
+        # it (encode+send run under the connection lock, so deltas hit
+        # the wire in the order they were cut).
+        pool_enc = protocol.ArenaPoolEncoder()
         try:
             await self._send(writer, lock, "hello", self._hello_header())
             while True:
@@ -261,7 +270,9 @@ class QueryServer:
                     continue
                 self._admitted()
                 task = asyncio.ensure_future(
-                    self._process(kind, header, payload, writer, lock)
+                    self._process(
+                        kind, header, payload, writer, lock, pool_enc
+                    )
                 )
                 self._tasks.add(task)
                 task.add_done_callback(self._task_done)
@@ -299,20 +310,21 @@ class QueryServer:
         payload: bytes,
         writer: asyncio.StreamWriter,
         lock: asyncio.Lock,
+        pool_enc: "protocol.ArenaPoolEncoder",
     ) -> None:
         rid = header.get("id")
         try:
             if kind == "query":
-                await self._process_query(header, writer, lock)
+                await self._process_query(header, writer, lock, pool_enc)
             elif kind == "batch":
-                await self._process_batch(header, writer, lock)
+                await self._process_batch(header, writer, lock, pool_enc)
             elif kind == "shard":
                 await self._process_worker_task(
-                    kind, header, payload, writer, lock
+                    kind, header, payload, writer, lock, pool_enc
                 )
             elif kind == "execute":
                 await self._process_worker_task(
-                    kind, header, payload, writer, lock
+                    kind, header, payload, writer, lock, pool_enc
                 )
             elif kind == "mutate":
                 await self._process_mutate(header, payload, writer, lock)
@@ -336,21 +348,28 @@ class QueryServer:
         header: Dict[str, Any],
         writer: asyncio.StreamWriter,
         lock: asyncio.Lock,
+        pool_enc: "protocol.ArenaPoolEncoder",
     ) -> None:
         self.stats.queries += 1
         query = parse_query(str(header["sql"]))
         engine = str(header.get("engine") or "auto")
         future = self.session.submit(query, engine)
         result = await asyncio.wrap_future(future)
-        meta, payload = protocol.pack_result(result)
-        meta["id"] = header.get("id")
-        await self._send(writer, lock, "result", meta, payload)
+        pool = pool_enc if header.get("pool") else None
+
+        def pack():
+            meta, payload = protocol.pack_result(result, pool)
+            meta["id"] = header.get("id")
+            return "result", meta, payload
+
+        await self._send_packed(writer, lock, pool, pack)
 
     async def _process_batch(
         self,
         header: Dict[str, Any],
         writer: asyncio.StreamWriter,
         lock: asyncio.Lock,
+        pool_enc: "protocol.ArenaPoolEncoder",
     ) -> None:
         self.stats.batches += 1
         statements = header["sql"]
@@ -362,14 +381,17 @@ class QueryServer:
         # coalescer interleave *other* clients' queries with these.
         futures = [self.session.submit(q, engine) for q in queries]
         results = [await asyncio.wrap_future(f) for f in futures]
-        metas, payload = protocol.pack_results(results)
-        await self._send(
-            writer,
-            lock,
-            "batch-result",
-            {"id": header.get("id"), "results": metas},
-            payload,
-        )
+        pool = pool_enc if header.get("pool") else None
+
+        def pack():
+            metas, payload = protocol.pack_results(results, pool)
+            return (
+                "batch-result",
+                {"id": header.get("id"), "results": metas},
+                payload,
+            )
+
+        await self._send_packed(writer, lock, pool, pack)
 
     async def _process_worker_task(
         self,
@@ -378,33 +400,47 @@ class QueryServer:
         payload: bytes,
         writer: asyncio.StreamWriter,
         lock: asyncio.Lock,
+        pool_enc: "protocol.ArenaPoolEncoder",
     ) -> None:
         if kind == "shard":
             self.stats.shard_tasks += 1
         else:
             self.stats.execute_tasks += 1
         loop = asyncio.get_running_loop()
-        elapsed, blob = await loop.run_in_executor(
+        elapsed, fr = await loop.run_in_executor(
             self._pool, self._run_worker_task, kind, header, payload
         )
+        meta = {
+            "id": header.get("id"),
+            "engine": "fdb",
+            "cached": False,
+            "deduped": False,
+            "elapsed": elapsed,
+        }
+        pool = pool_enc if header.get("pool") else None
+        if pool is not None and fr.encoding == "arena":
+            # Pooled part results are what lets a RemoteExecutor
+            # coordinator union per-shard arenas by id: every part on
+            # this connection references the same client-side pool.
+            def pack():
+                return (
+                    "result",
+                    {**meta, "payload": "fdbp-pool"},
+                    pool.encode(fr),
+                )
+
+            await self._send_packed(writer, lock, pool, pack)
+            return
+        blob = await loop.run_in_executor(
+            self._pool, protocol.pack_blob, fr
+        )
         await self._send(
-            writer,
-            lock,
-            "result",
-            {
-                "id": header.get("id"),
-                "payload": "fdbp",
-                "engine": "fdb",
-                "cached": False,
-                "deduped": False,
-                "elapsed": elapsed,
-            },
-            blob,
+            writer, lock, "result", {**meta, "payload": "fdbp"}, blob
         )
 
     def _run_worker_task(
         self, kind: str, header: Dict[str, Any], payload: bytes
-    ) -> Tuple[float, bytes]:
+    ) -> Tuple[float, object]:
         """Thread-pool body of a ``shard``/``execute`` request."""
         tree = protocol.unpack_blob(payload)
         if not isinstance(tree, FTree):
@@ -448,7 +484,7 @@ class QueryServer:
                 tree,
                 encoding,
             )
-        return elapsed, protocol.pack_blob(fr)
+        return elapsed, fr
 
     async def _process_mutate(
         self,
@@ -537,29 +573,63 @@ class QueryServer:
         header: Dict[str, Any],
         payload: bytes = b"",
     ) -> None:
-        frame = protocol.encode_frame(kind, header, payload)
-        if len(frame) - 4 > self.max_frame and kind != "error":
-            # Never emit a frame the peer is entitled to reject (it
-            # would tear down the connection and every in-flight
-            # request with it); a too-large *response* degrades to a
-            # per-request error instead.
-            self.stats.errors += 1
-            frame = protocol.encode_frame(
-                "error",
-                {
-                    "id": header.get("id"),
-                    "error": (
-                        f"response of {len(frame) - 4} bytes exceeds "
-                        f"the {self.max_frame}-byte frame limit; "
-                        f"raise max_frame or split the batch"
-                    ),
-                    "type": "ProtocolError",
-                },
-            )
-        with contextlib.suppress(ConnectionError, RuntimeError):
-            # A peer that disconnected mid-query simply loses its
-            # response; the server must not hang or crash over it.
-            async with lock:
+        await self._send_packed(
+            writer, lock, None, lambda: (kind, header, payload)
+        )
+
+    async def _send_packed(
+        self,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+        pool,
+        pack,
+    ) -> None:
+        """Pack (via ``pack()``) and write one frame atomically.
+
+        Packing runs *under* the connection lock: pooled arena
+        payloads cut a delta against the connection pool, and the
+        client replays deltas in arrival order, so cut-and-send must
+        not interleave across concurrent responses.  The encoder's
+        watermark only commits once the frame really goes out; a
+        dropped frame (oversize, dead peer) rolls back and the next
+        payload re-ships the delta.
+        """
+        async with lock:
+            try:
+                kind, header, payload = pack()
+                frame = protocol.encode_frame(kind, header, payload)
+            except Exception:
+                if pool is not None:
+                    pool.rollback()
+                raise  # _process turns this into an error response
+            if len(frame) - 4 > self.max_frame and kind != "error":
+                # Never emit a frame the peer is entitled to reject
+                # (it would tear down the connection and every
+                # in-flight request with it); a too-large *response*
+                # degrades to a per-request error instead.
+                if pool is not None:
+                    pool.rollback()
+                self.stats.errors += 1
+                frame = protocol.encode_frame(
+                    "error",
+                    {
+                        "id": header.get("id"),
+                        "error": (
+                            f"response of {len(frame) - 4} bytes "
+                            f"exceeds the {self.max_frame}-byte frame "
+                            f"limit; raise max_frame or split the batch"
+                        ),
+                        "type": "ProtocolError",
+                    },
+                )
+            elif pool is not None:
+                # Commit before the write: a failed write means the
+                # peer is gone, and its pool state dies with the
+                # connection anyway.
+                pool.commit()
+            with contextlib.suppress(ConnectionError, RuntimeError):
+                # A peer that disconnected mid-query simply loses its
+                # response; the server must not hang or crash over it.
                 writer.write(frame)
                 await writer.drain()
 

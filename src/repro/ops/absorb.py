@@ -75,10 +75,22 @@ def absorb_tree(tree: FTree, a_attr: str, b_attr: str) -> FTree:
 def absorb(
     fr: FactorisedRelation, a_attr: str, b_attr: str
 ) -> FactorisedRelation:
-    """Absorb on a factorised relation (restriction + normalisation)."""
+    """Absorb on a factorised relation (restriction + normalisation).
+
+    Arena-backed relations run the columnar kernel chain of
+    :mod:`repro.ops.arena_kernels` (restriction kernel + replayed
+    push-ups); this object path is its oracle.
+    """
     tree = fr.tree
     node_a, node_b = _absorb_parts(tree, a_attr, b_attr)
     structural, merged = _structural_tree(tree, node_a, node_b)
+    if fr.encoding == "arena":
+        from repro.ops import arena_kernels
+
+        chain = arena_kernels.kernel_for(tree, "absorb", (a_attr, b_attr))
+        if fr.is_empty():
+            return FactorisedRelation(chain.out_tree, arena=None)
+        return FactorisedRelation(chain.out_tree, arena=chain.run(fr.arena))
     if fr.data is None:
         normalised, _ = normalise_tree(structural)
         return FactorisedRelation(normalised, None)

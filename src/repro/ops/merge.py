@@ -70,10 +70,21 @@ def merge_tree(tree: FTree, a_attr: str, b_attr: str) -> FTree:
 def merge(
     fr: FactorisedRelation, a_attr: str, b_attr: str
 ) -> FactorisedRelation:
-    """Merge on a factorised relation: sort-merge join of the unions."""
+    """Merge on a factorised relation: sort-merge join of the unions.
+
+    Arena-backed relations run the columnar kernel of
+    :mod:`repro.ops.arena_kernels`; this object path is its oracle.
+    """
     tree = fr.tree
     node_a, node_b, merged = _merge_parts(tree, a_attr, b_attr)
     new_tree = merge_tree(tree, a_attr, b_attr)
+    if fr.encoding == "arena":
+        from repro.ops import arena_kernels
+
+        kernel = arena_kernels.kernel_for(tree, "merge", (a_attr, b_attr))
+        if fr.is_empty():
+            return FactorisedRelation(new_tree, arena=None)
+        return FactorisedRelation(new_tree, arena=kernel.run(fr.arena))
     if fr.data is None:
         return FactorisedRelation(new_tree, None)
 

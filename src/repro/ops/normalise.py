@@ -56,11 +56,22 @@ def push_up_tree(tree: FTree, b_attr: str) -> FTree:
 
 
 def push_up(fr: FactorisedRelation, b_attr: str) -> FactorisedRelation:
-    """Push-up on a factorised relation (tree and data together)."""
+    """Push-up on a factorised relation (tree and data together).
+
+    Arena-backed relations run the columnar kernel of
+    :mod:`repro.ops.arena_kernels`; this object path is its oracle.
+    """
     tree = fr.tree
     node_b = tree.node_of(b_attr)
     node_a = tree.parent_of(node_b)
     new_tree = push_up_tree(tree, b_attr)
+    if fr.encoding == "arena":
+        from repro.ops import arena_kernels
+
+        kernel = arena_kernels.kernel_for(tree, "push", (b_attr,))
+        if fr.is_empty():
+            return FactorisedRelation(new_tree, arena=None)
+        return FactorisedRelation(new_tree, arena=kernel.run(fr.arena))
     if fr.data is None:
         return FactorisedRelation(new_tree, None)
     assert node_a is not None
@@ -130,6 +141,17 @@ def normalise_tree(tree: FTree) -> Tuple[FTree, List[str]]:
 
 def normalise(fr: FactorisedRelation) -> FactorisedRelation:
     """The normalisation operator ``eta`` on a factorised relation."""
+    if fr.encoding == "arena":
+        from repro.ops import arena_kernels
+
+        chain = arena_kernels.kernel_for(fr.tree, "normalise")
+        if not chain.kernels:
+            return fr
+        if fr.is_empty():
+            return FactorisedRelation(chain.out_tree, arena=None)
+        return FactorisedRelation(
+            chain.out_tree, arena=chain.run(fr.arena)
+        )
     current = fr
     while True:
         candidates = pushable_nodes(current.tree)

@@ -31,8 +31,26 @@ def product_tree(left: FTree, right: FTree) -> FTree:
 def product(
     left: FactorisedRelation, right: FactorisedRelation
 ) -> FactorisedRelation:
-    """Cartesian product of two factorised relations."""
+    """Cartesian product of two factorised relations.
+
+    Arena-backed inputs combine by column adoption (zero copies under
+    a shared pool) in :func:`repro.ops.arena_kernels.product_arena`.
+    """
     tree = product_tree(left.tree, right.tree)
+    arena_side = left.encoding == "arena" or right.encoding == "arena"
+    if left.is_empty() or right.is_empty():
+        if arena_side:
+            return FactorisedRelation(tree, arena=None)
+        return FactorisedRelation(tree, None)
+    if arena_side:
+        from repro.ops import arena_kernels
+
+        return FactorisedRelation(
+            tree,
+            arena=arena_kernels.product_arena(
+                tree, left.arena, right.arena
+            ),
+        )
     if left.data is None or right.data is None:
         return FactorisedRelation(tree, None)
     nodes = list(left.tree.roots) + list(right.tree.roots)

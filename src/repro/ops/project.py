@@ -23,8 +23,11 @@ removes *whole subtrees* and keeps every remaining label intact (the
 common "root prefix" shape): the surviving columns transfer verbatim
 (:func:`repro.core.arena.drop_subtrees`) and no swaps are needed.  The
 fast path skips the final normalisation pass -- a pure representation
-choice; the denoted relation is identical.  Every other projection
-falls back to the object path via the lazy ``data`` adapter.
+choice; the denoted relation is identical.  Projections needing swaps
+or leaf drops stay columnar too (the swap and normalise kernels of
+:mod:`repro.ops.arena_kernels`, the leaf case of ``drop_subtrees``);
+only phase-1 label reduction falls back to the object path via the
+lazy ``data`` adapter.
 """
 
 from __future__ import annotations
@@ -37,7 +40,7 @@ from repro.core.frep import ProductRep, UnionRep
 from repro.core.ftree import FNode, FTree
 from repro.ops.base import OperatorError, subtree_index
 from repro.ops.normalise import normalise, normalise_tree
-from repro.ops.swap import swap, swap_tree
+from repro.ops.swap import swap
 
 
 def _reduce_labels(
@@ -96,8 +99,48 @@ def _reduce_labels(
     new_tree = FTree(
         [node_transform(root) for root in tree.roots], new_edges
     )
-    if fr.data is None:
+    if fr.is_empty():
+        if fr.encoding == "arena":
+            return FactorisedRelation(new_tree, arena=None)
         return FactorisedRelation(new_tree, None)
+    if fr.encoding == "arena":
+        # Shrinking labels never touches the data: every column binds
+        # unchanged to the relabelled node, with child slots re-sorted
+        # to the new canonical sibling order.  (Shrunk labels stay
+        # pairwise disjoint, so the rebinding is one-to-one.)
+        arena = fr.arena
+        sskel = arena.skel
+        dskel = arena_mod._skeleton_of(new_tree)
+
+        def shrunk(label):
+            kept_attrs = label & keep
+            return frozenset(kept_attrs) if kept_attrs else label
+
+        n = len(dskel)
+        values = [None] * n
+        child_lo = [None] * n
+        child_hi = [None] * n
+        for si in range(len(sskel)):
+            di = dskel.index[shrunk(sskel.labels[si])]
+            values[di] = arena.values[si]
+            src_slot = {
+                shrunk(sskel.labels[k]): j
+                for j, k in enumerate(sskel.children[si])
+            }
+            child_lo[di] = [
+                arena.child_lo[si][src_slot[dskel.labels[dk]]]
+                for dk in dskel.children[di]
+            ]
+            child_hi[di] = [
+                arena.child_hi[si][src_slot[dskel.labels[dk]]]
+                for dk in dskel.children[di]
+            ]
+        return FactorisedRelation(
+            new_tree,
+            arena=arena_mod.ArenaRep(
+                dskel, values, child_lo, child_hi, arena.pool
+            ),
+        )
     return FactorisedRelation(
         new_tree, ProductRep(data_transform(tree.roots, fr.data))
     )
@@ -110,6 +153,18 @@ def _drop_leaf(
     tree = fr.tree
     new_edges = tree.edges.merge_edges_touching(node.label)
     new_tree = tree.replace_node(node.label, []).with_edges(new_edges)
+    if fr.encoding == "arena":
+        if fr.is_empty():
+            return FactorisedRelation(new_tree, arena=None)
+        # A leaf is a one-node subtree: the general subtree-drop
+        # kernel removes its column (and its slot in the parent).
+        arena = fr.arena
+        return FactorisedRelation(
+            new_tree,
+            arena=arena_mod.drop_subtrees(
+                arena, new_tree, [arena.skel.index[node.label]]
+            ),
+        )
     if fr.data is None:
         return FactorisedRelation(new_tree, None)
 
@@ -236,28 +291,20 @@ def project(
             key=lambda n: len(n.subtree_attributes()),
         )
         if target.children:
-            # Swap the marked node below its first child.
-            child = target.children[0]
-            if current.data is None:
-                current = FactorisedRelation(
-                    swap_tree(
-                        current.tree,
-                        next(iter(target.label)),
-                        next(iter(child.label)),
-                    ),
-                    None,
-                )
-            else:
-                current = swap(
-                    current,
-                    next(iter(target.label)),
-                    next(iter(child.label)),
-                )
+            # Swap the marked node below its first child (swap
+            # handles empty and arena-backed relations itself).
+            current = swap(
+                current,
+                next(iter(target.label)),
+                next(iter(target.children[0].label)),
+            )
         else:
             current = _drop_leaf(current, target)
 
     # Phase 3: normalise.
-    if current.data is None:
+    if current.is_empty():
         tree, _ = normalise_tree(current.tree)
+        if current.encoding == "arena":
+            return FactorisedRelation(tree, arena=None)
         return FactorisedRelation(tree, None)
     return normalise(current)

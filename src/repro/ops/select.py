@@ -11,11 +11,12 @@ attributes are removed from the dependency edges, the node is marked
 ``constant`` (ignored by ``s(T)``), and a normalisation pass floats it
 towards the root, as described at the end of Section 3.3.
 
-Arena-backed inputs take a columnar fast path for the non-equality
-comparisons (the tree is unchanged, so the filter is a pure data
-kernel: :func:`repro.core.arena.select_filter`); equality selections
-restructure the tree and run through the object encoding, which the
-lazy ``data`` adapter materialises transparently.
+Arena-backed inputs stay columnar for every comparison: the filter is
+the mask-and-compact kernel :func:`repro.core.arena.select_filter`
+(the tree is unchanged by the filter itself -- the skeleton ignores
+constant flags), and for equality the subsequent normalisation replays
+the constant tree's push-up trace through the prepared kernels of
+:mod:`repro.ops.arena_kernels`.
 """
 
 from __future__ import annotations
@@ -68,6 +69,28 @@ def select_constant(
                 select_constant_tree(tree, cond), arena=None
             )
         return FactorisedRelation(tree, arena=filtered)
+
+    if fr.encoding == "arena":
+        # Equality: the filter kernel leaves the node layout intact
+        # (the skeleton ignores constant flags), then the push-up
+        # kernels replay the normalisation trace of the constant tree.
+        from repro.ops import arena_kernels
+
+        const_tree = tree
+        if not node.constant:
+            const_tree = tree.replace_node(
+                node.label, [node.as_constant()]
+            )
+            const_tree = const_tree.with_edges(
+                const_tree.edges.without_attributes(node.label)
+            )
+        chain = arena_kernels.kernel_for(const_tree, "normalise")
+        filtered = arena_mod.select_filter(
+            fr.arena, cond.attribute, cond.test
+        )
+        if filtered is not None:
+            filtered = chain.run(filtered)
+        return FactorisedRelation(chain.out_tree, arena=filtered)
 
     anchor = cond.attribute
 

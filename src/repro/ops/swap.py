@@ -66,12 +66,25 @@ def swap_tree(tree: FTree, a_attr: str, b_attr: str) -> FTree:
 def swap(
     fr: FactorisedRelation, a_attr: str, b_attr: str
 ) -> FactorisedRelation:
-    """Swap on a factorised relation -- the Figure 4 algorithm."""
+    """Swap on a factorised relation -- the Figure 4 algorithm.
+
+    Arena-backed relations take the columnar kernel of
+    :mod:`repro.ops.arena_kernels` (same heap merge, bulk subtree
+    copies, no object materialisation); the object path below is its
+    differential oracle.
+    """
     tree = fr.tree
     node_a, node_b, a_others, t_b, t_ab = _swap_parts(
         tree, a_attr, b_attr
     )
     new_tree = swap_tree(tree, a_attr, b_attr)
+    if fr.encoding == "arena":
+        from repro.ops import arena_kernels
+
+        kernel = arena_kernels.kernel_for(tree, "swap", (a_attr, b_attr))
+        if fr.is_empty():
+            return FactorisedRelation(new_tree, arena=None)
+        return FactorisedRelation(new_tree, arena=kernel.run(fr.arena))
     if fr.data is None:
         return FactorisedRelation(new_tree, None)
 

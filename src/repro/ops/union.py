@@ -86,10 +86,17 @@ def union(
             "union requires identical f-trees: "
             f"{left.tree.pretty_inline()} vs {right.tree.pretty_inline()}"
         )
-    if left.data is None:
-        return FactorisedRelation(right.tree, right.data)
-    if right.data is None:
-        return FactorisedRelation(left.tree, left.data)
+    if left.is_empty():
+        return right
+    if right.is_empty():
+        return left
+    if left.encoding == "arena" and right.encoding == "arena":
+        from repro.ops import arena_kernels
+
+        return FactorisedRelation(
+            left.tree,
+            arena=arena_kernels.union_arena(left.arena, right.arena),
+        )
     return FactorisedRelation(
         left.tree, _union_products(left.data, right.data)
     )

@@ -66,7 +66,7 @@ class Step:
 class FPlan:
     """A sequence of steps with its intermediate f-trees and cost."""
 
-    __slots__ = ("steps", "trees", "cost")
+    __slots__ = ("steps", "trees", "cost", "__weakref__")
 
     def __init__(self, input_tree: FTree, steps: Sequence[Step]) -> None:
         self.steps: Tuple[Step, ...] = tuple(steps)
@@ -85,11 +85,23 @@ class FPlan:
         return self.trees[-1]
 
     def execute(self, fr: FactorisedRelation) -> FactorisedRelation:
-        """Replay the plan on data; checks tree agreement per step."""
+        """Replay the plan on data; checks tree agreement per step.
+
+        Arena-backed relations run the whole plan as one compiled
+        chain of prepared columnar kernels (weakly cached per plan,
+        see :mod:`repro.ops.arena_kernels`); per-step tree agreement
+        is then checked once at compile time instead of per execution.
+        The kernel-at-a-time loop below doubles as the fallback and
+        the differential oracle.
+        """
         if fr.tree.key() != self.input_tree.key():
             raise ValueError(
                 "plan input f-tree does not match the relation's f-tree"
             )
+        if fr.encoding == "arena" and self.steps:
+            from repro.ops.arena_kernels import compiled_plan_for
+
+            return compiled_plan_for(self).execute(fr)
         current = fr
         for step, expected in zip(self.steps, self.trees[1:]):
             current = step.apply(current)

@@ -778,6 +778,204 @@ def _decode_arena_from(src, read_column) -> FactorisedRelation:
     return FactorisedRelation(tree, arena=rep)
 
 
+# -- pooled arena payloads (the wire's shared value pool) --------------------
+#
+# A connection that streams many arena-encoded results (per-shard
+# parts, batch answers, repeated queries) re-ships the same interned
+# values over and over in every ``arena`` blob.  The *pooled* payload
+# form below amortises that: both ends keep one value pool per
+# connection, each payload carries only the values first seen on this
+# connection (a contiguous *delta* of pool ids), and the integer
+# columns reference the connection pool by id.  Decoded arenas all
+# share the receiver's pool object, so client-side recombination
+# (``ops.union`` over shard parts) merges columns by id without
+# re-interning -- the wire analogue of the worker-process shared pool.
+#
+# The payload is self-checking (trailing CRC32) but *stateful*: it can
+# only be decoded by the peer pool that has seen every earlier delta
+# on the same connection, in order.  It is therefore a wire-only form,
+# never written to disk, and both sides fall back to plain ``arena``
+# blobs when either end does not opt in.
+
+
+def _write_i64_any(out: BinaryIO, column) -> None:
+    """Write an int64 column that may be array('q'), ndarray or any
+    int iterable (remapped columns)."""
+    if _np is not None and isinstance(column, _np.ndarray):
+        _write_varint(out, len(column))
+        out.write(column.astype("<i8", copy=False).tobytes())
+        return
+    if not isinstance(column, array):
+        column = array("q", column)
+    _write_i64_column(out, column)
+
+
+class ArenaPoolEncoder:
+    """Sender side of one connection's shared wire pool.
+
+    ``encode`` re-interns the result's private pool into the
+    connection pool, remaps the value columns, and emits only the
+    newly-appended pool values.  The watermark of shipped values moves
+    in two phases -- ``encode`` marks it pending, ``commit`` publishes
+    it once the frame carrying the payload actually reached the socket
+    -- so a payload dropped before sending (oversized frame, encode
+    error) is simply re-shipped by the next delta instead of leaving
+    the peer with a hole in its pool.  Callers must serialise
+    encode+send per connection (the server holds its per-connection
+    write lock across both).
+    """
+
+    __slots__ = ("pool", "shipped", "_pending")
+
+    def __init__(self) -> None:
+        self.pool = arena_mod.ValuePool()
+        self.shipped = 0
+        self._pending: Optional[int] = None
+
+    def commit(self) -> None:
+        """Publish the watermark cut by the last ``encode``."""
+        if self._pending is not None:
+            self.shipped = self._pending
+            self._pending = None
+
+    def rollback(self) -> None:
+        """Forget an un-sent delta (it will be re-shipped next time)."""
+        self._pending = None
+
+    def encode(self, fr: FactorisedRelation) -> bytes:
+        out = io.BytesIO()
+        tree_bytes = _encode_ftree(fr.tree)
+        _write_varint(out, len(tree_bytes))
+        out.write(tree_bytes)
+        rep = fr.arena
+        if rep is None:
+            out.write(bytes((0,)))
+        else:
+            out.write(bytes((1,)))
+            src_pool = rep.pool
+            if src_pool is self.pool:
+                vmap = None
+            else:
+                vmap = [self.pool.intern(value) for value in src_pool]
+            base = (
+                self.shipped if self._pending is None else self._pending
+            )
+            delta = self.pool.values_since(base)
+            _write_varint(out, base)
+            _write_varint(out, len(delta))
+            for value in delta:
+                write_value(out, value)
+            self._pending = base + len(delta)
+            if vmap is None:
+                remap = lambda column: column  # noqa: E731
+            elif _np is not None:
+                vmap_arr = _np.asarray(vmap, dtype=_np.int64)
+                remap = lambda column: vmap_arr[  # noqa: E731
+                    arena_mod._as_np(column)
+                ]
+            else:
+                remap = lambda column: array(  # noqa: E731
+                    "q", (vmap[vid] for vid in column)
+                )
+            skel = rep.skel
+            _write_varint(out, len(skel))
+            for i in range(len(skel)):
+                _write_i64_any(out, remap(rep.values[i]))
+                for j in range(len(skel.children[i])):
+                    _write_i64_any(out, rep.child_lo[i][j])
+                    _write_i64_any(out, rep.child_hi[i][j])
+        body = out.getvalue()
+        return body + struct.pack(">I", zlib.crc32(body))
+
+
+class ArenaPoolDecoder:
+    """Receiver side of one connection's shared wire pool.
+
+    Payloads must be decoded in the order they were encoded: each one
+    states the pool size it expects (``base``) and appends its delta.
+    Every decoded arena references the *same* growing value list, so
+    results from one connection recombine by id.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self) -> None:
+        self.values: List[object] = []
+
+    def decode(self, payload: bytes) -> FactorisedRelation:
+        if len(payload) < 4:
+            raise PersistError("truncated pooled arena payload")
+        body = payload[:-4]
+        (crc,) = struct.unpack(">I", payload[-4:])
+        if zlib.crc32(body) != crc:
+            raise PersistError("pooled arena payload failed its checksum")
+        src = io.BytesIO(body)
+        tree_len = _read_varint(src)
+        tree_bytes = src.read(tree_len)
+        if len(tree_bytes) != tree_len:
+            raise PersistError("truncated pooled arena tree")
+        tree = _decode_ftree(tree_bytes)
+        flag = src.read(1)
+        if not flag:
+            raise PersistError("truncated pooled arena payload")
+        if flag[0] == 0:
+            if src.read(1):
+                raise PersistError("pooled arena payload has trailing bytes")
+            return FactorisedRelation(tree, arena=None)
+        base = _read_varint(src)
+        if base != len(self.values):
+            raise PersistError(
+                f"pooled arena delta expects {base} already-shipped "
+                f"values but this connection holds {len(self.values)} "
+                f"(out-of-order or cross-connection payload)"
+            )
+        self.values.extend(
+            read_value(src) for _ in range(_read_varint(src))
+        )
+        skel = arena_mod._skeleton_of(tree)
+        node_count = _read_varint(src)
+        if node_count != len(skel):
+            raise PersistError(
+                f"pooled arena payload has {node_count} node columns "
+                f"for a {len(skel)}-node f-tree"
+            )
+        values: List[array] = []
+        child_lo: List[List[array]] = []
+        child_hi: List[List[array]] = []
+        for i in range(node_count):
+            values.append(_read_i64_column(src))
+            los: List[array] = []
+            his: List[array] = []
+            for _ in skel.children[i]:
+                los.append(_read_i64_column(src))
+                his.append(_read_i64_column(src))
+            child_lo.append(los)
+            child_hi.append(his)
+        if src.read(1):
+            raise PersistError("pooled arena payload has trailing bytes")
+        limit = len(self.values)
+        for column in values:
+            if not len(column):
+                continue
+            if _np is not None:
+                arr = _np.frombuffer(column, dtype=_np.int64)
+                bad = int(arr.max()) >= limit or int(arr.min()) < 0
+            else:  # pragma: no cover - numpy-free fallback
+                bad = max(column) >= limit or min(column) < 0
+            if bad:
+                raise PersistError(
+                    "pooled arena value id outside the connection pool"
+                )
+        rep = ArenaRep(skel, values, child_lo, child_hi, self.values)
+        try:
+            arena_mod.validate_arena_bounds(tree, rep)
+        except ValueError as exc:
+            raise PersistError(
+                f"pooled arena violates its invariants: {exc}"
+            ) from exc
+        return FactorisedRelation(tree, arena=rep)
+
+
 # -- sharded databases (per-shard files + manifest) --------------------------
 
 

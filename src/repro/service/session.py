@@ -357,8 +357,13 @@ class QuerySession:
         return len(self._plans) + len(self._fplans)
 
     def cache_counters(self) -> Dict[str, Dict[str, int]]:
-        """Counters of the plan caches and the delta-maintained
-        result cache (zeros when result caching is disabled)."""
+        """Counters of the plan caches, the delta-maintained result
+        cache (zeros when result caching is disabled) and the
+        process-wide arena<->object adapter tallies -- the latter so a
+        kernel silently falling back to the object encoding shows up
+        in STATS as counted round trips."""
+        from repro.core.factorised import ADAPTER
+
         return {
             "plans": self._plans.counters(),
             "fplans": self._fplans.counters(),
@@ -367,6 +372,7 @@ class QuerySession:
                 if self._results is not None
                 else ResultCache().counters()
             ),
+            "adapter": ADAPTER.snapshot(),
         }
 
     def close(self) -> None:

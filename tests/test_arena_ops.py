@@ -1,0 +1,369 @@
+"""Seeded property tests: arena-native operators equal their object twins.
+
+Every f-plan operator now has a columnar kernel that runs directly on
+the arena encoding (:mod:`repro.ops.arena_kernels`); the object
+implementations are kept as the differential oracle.  These tests pin
+the equivalence on the shapes the kernels are easiest to get wrong:
+
+- empty inputs (``arena=None`` must propagate, never materialise);
+- single-row relations (every union is a singleton, every child range
+  is ``[0, 1)``);
+- deep chain skeletons (per-level recursion depth equals tree height);
+- randomly drawn operator applications over seeded databases, with
+  the arena<->object adapter counters asserted flat across the arena
+  run -- an operator that silently falls back to the object encoding
+  fails here, not just in the benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+from typing import List, Tuple
+
+import pytest
+
+from repro import ops
+from repro.core.arena import validate_arena
+from repro.core.build import factorise
+from repro.core.factorised import ADAPTER, FactorisedRelation
+from repro.core.ftree import FTree
+from repro.engine import FDB
+from repro.query.query import ConstantCondition, Query
+from repro.workloads import random_database, random_spj_queries
+
+#: Database seeds for the randomized sweeps.
+SEEDS = [301, 302, 303]
+
+_STEP_OPS = {
+    "swap": ops.swap,
+    "merge": ops.merge,
+    "absorb": ops.absorb,
+}
+
+
+def _database(seed: int, tuples: int = 6):
+    return random_database(
+        relations=4, attributes=8, tuples=tuples, domain=5, seed=seed
+    )
+
+
+def _twins(
+    db, query: Query
+) -> Tuple[FactorisedRelation, FactorisedRelation]:
+    """The same factorised join in both encodings, over one tree."""
+    tree = FDB(db).optimal_tree(query)
+    arena_fr = FDB(db, encoding="arena").factorise_query(
+        query, tree=tree
+    )
+    object_fr = FDB(db).factorise_query(query, tree=tree)
+    return arena_fr, object_fr
+
+
+def _rows(fr: FactorisedRelation) -> Tuple[tuple, List[tuple]]:
+    order = tuple(sorted(fr.tree.attributes()))
+    return order, sorted(set(fr.rows(order)))
+
+
+def _assert_twin(
+    arena_out: FactorisedRelation,
+    object_out: FactorisedRelation,
+    context: str,
+) -> None:
+    assert arena_out.encoding == "arena", f"{context}: fell back to object"
+    assert (
+        arena_out.tree.key() == object_out.tree.key()
+    ), f"{context}: trees diverge"
+    if arena_out.arena is not None:
+        validate_arena(arena_out.tree, arena_out.arena)
+    assert _rows(arena_out) == _rows(object_out), context
+
+
+def _candidate_steps(
+    tree: FTree, rng: random.Random, limit: int = 8
+) -> List[Tuple[str, Tuple[str, str]]]:
+    """Applicable restructuring steps, mirroring the optimiser's
+    neighbour enumeration (swaps between parent/child, merges between
+    siblings, absorbs along ancestor paths)."""
+    steps: List[Tuple[str, Tuple[str, str]]] = []
+    nodes = list(tree.iter_nodes())
+    for node in nodes:
+        parent = tree.parent_of(node)
+        if parent is not None:
+            steps.append(("swap", (min(parent.label), min(node.label))))
+    for left, right in combinations(nodes, 2):
+        parent_l = tree.parent_of(left)
+        parent_r = tree.parent_of(right)
+        same_parent = (parent_l is None and parent_r is None) or (
+            parent_l is not None
+            and parent_r is not None
+            and parent_l.label == parent_r.label
+        )
+        if same_parent:
+            steps.append(
+                ("merge", (min(left.label), min(right.label)))
+            )
+        elif tree.is_ancestor(left, right):
+            steps.append(
+                ("absorb", (min(left.label), min(right.label)))
+            )
+    rng.shuffle(steps)
+    return steps[:limit]
+
+
+def _apply(kind: str, fr: FactorisedRelation, args) -> FactorisedRelation:
+    return _STEP_OPS[kind](fr, *args)
+
+
+# -- randomized operator sweep ------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_random_steps_match_object_twin(seed):
+    db = _database(seed)
+    rng = random.Random(seed)
+    queries = random_spj_queries(
+        db, 4, seed=seed + 500, max_relations=3, max_equalities=1
+    )
+    exercised = 0
+    for query in queries:
+        base = Query.make(query.relations)
+        arena_fr, object_fr = _twins(db, base)
+        for kind, args in _candidate_steps(arena_fr.tree, rng):
+            before = ADAPTER.snapshot()["to_object_calls"]
+            arena_out = _apply(kind, arena_fr, args)
+            after = ADAPTER.snapshot()["to_object_calls"]
+            assert after == before, (
+                f"seed {seed} {kind}{args}: arena op took "
+                f"{after - before} adapter round trips"
+            )
+            object_out = _apply(kind, object_fr, args)
+            _assert_twin(
+                arena_out, object_out, f"seed {seed} {kind}{args}"
+            )
+            exercised += 1
+    assert exercised >= 10
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_select_project_normalise_match_object_twin(seed):
+    db = _database(seed)
+    rng = random.Random(seed + 1)
+    queries = random_spj_queries(
+        db, 3, seed=seed + 700, max_relations=3, max_equalities=2
+    )
+    for query in queries:
+        base = Query.make(query.relations)
+        arena_fr, object_fr = _twins(db, base)
+        attrs = sorted(arena_fr.tree.attributes())
+        attr = rng.choice(attrs)
+        for op in ("=", "<", ">="):
+            cond = ConstantCondition(attr, op, rng.randint(1, 5))
+            _assert_twin(
+                ops.select_constant(arena_fr, cond),
+                ops.select_constant(object_fr, cond),
+                f"seed {seed} select {cond}",
+            )
+        keep = rng.sample(attrs, rng.randint(1, len(attrs)))
+        _assert_twin(
+            ops.project(arena_fr, keep),
+            ops.project(object_fr, keep),
+            f"seed {seed} project {keep}",
+        )
+        _assert_twin(
+            ops.normalise(arena_fr),
+            ops.normalise(object_fr),
+            f"seed {seed} normalise",
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_union_and_product_match_object_twin(seed):
+    db = _database(seed)
+    names = sorted(rel.name for rel in db)
+    # Union: factorise the same join over two halves of one relation
+    # (the shard decomposition union is exact for).
+    split_name = names[0]
+    split = db[split_name]
+    half = max(1, len(split) // 2)
+    halves = []
+    for rows in (split.rows[:half], split.rows[half:]):
+        view = _database(seed)
+        view.delete_rows(
+            split_name,
+            rows=[r for r in split.rows if r not in rows],
+        )
+        halves.append(view)
+    query = Query.make(names[:2])
+    tree = FDB(db).optimal_tree(query)
+    arena_parts = [
+        FDB(h, encoding="arena").factorise_query(query, tree=tree)
+        for h in halves
+    ]
+    object_parts = [
+        FDB(h).factorise_query(query, tree=tree) for h in halves
+    ]
+    _assert_twin(
+        ops.union(*arena_parts),
+        ops.union(*object_parts),
+        f"seed {seed} union",
+    )
+    # Product: two joins over disjoint relation subsets.
+    qa, qb = Query.make(names[:2]), Query.make(names[2:])
+    a_arena, a_object = _twins(db, qa)
+    b_arena, b_object = _twins(db, qb)
+    _assert_twin(
+        ops.product(a_arena, b_arena),
+        ops.product(a_object, b_object),
+        f"seed {seed} product",
+    )
+
+
+# -- empty inputs -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_empty_inputs_stay_arena_and_match(seed):
+    db = _database(seed)
+    rng = random.Random(seed + 2)
+    names = sorted(rel.name for rel in db)
+    base = Query.make(names[:3])
+    arena_fr, object_fr = _twins(db, base)
+    # An impossible range selection empties both twins without
+    # restructuring the tree (an ``=`` would mark the node constant).
+    attr = sorted(arena_fr.tree.attributes())[0]
+    nope = ConstantCondition(attr, "<", -10_000)
+    arena_empty = ops.select_constant(arena_fr, nope)
+    object_empty = ops.select_constant(object_fr, nope)
+    assert arena_empty.is_empty() and object_empty.is_empty()
+    assert arena_empty.encoding == "arena"
+    for kind, args in _candidate_steps(arena_empty.tree, rng, limit=6):
+        arena_out = _apply(kind, arena_empty, args)
+        object_out = _apply(kind, object_empty, args)
+        context = f"seed {seed} empty {kind}{args}"
+        assert arena_out.is_empty(), context
+        assert arena_out.encoding == "arena", context
+        assert (
+            arena_out.tree.key() == object_out.tree.key()
+        ), context
+    attrs = sorted(arena_empty.tree.attributes())
+    keep = attrs[: max(1, len(attrs) // 2)]
+    arena_proj = ops.project(arena_empty, keep)
+    object_proj = ops.project(object_empty, keep)
+    assert arena_proj.is_empty() and arena_proj.encoding == "arena"
+    assert arena_proj.tree.key() == object_proj.tree.key()
+    # Union with an empty side preserves the non-empty input verbatim.
+    assert ops.union(arena_empty, arena_fr).count() == arena_fr.count()
+    assert ops.union(arena_fr, arena_empty).count() == arena_fr.count()
+
+
+# -- single-row relations -----------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_single_row_relations_match(seed):
+    db = _database(seed, tuples=1)
+    rng = random.Random(seed + 3)
+    names = sorted(rel.name for rel in db)
+    base = Query.make(names[:3])
+    arena_fr, object_fr = _twins(db, base)
+    for kind, args in _candidate_steps(arena_fr.tree, rng, limit=6):
+        _assert_twin(
+            _apply(kind, arena_fr, args),
+            _apply(kind, object_fr, args),
+            f"seed {seed} single-row {kind}{args}",
+        )
+
+
+# -- deep chain skeletons -----------------------------------------------------
+
+
+def _chain(depth: int, rows_per_level: int = 2):
+    """A depth-``depth`` chain f-tree with matching relations."""
+    from repro.relational.relation import Relation
+
+    attrs = [f"x{i:03d}" for i in range(depth)]
+    nested = None
+    for attr in reversed(attrs):
+        nested = (attr, [nested] if nested else [])
+    edges = [
+        {attrs[i], attrs[i + 1]} for i in range(depth - 1)
+    ]
+    tree = FTree.from_nested([nested], edges=edges)
+    relations = [
+        Relation.from_rows(
+            f"L{i:03d}",
+            (attrs[i], attrs[i + 1]),
+            [(v, v) for v in range(rows_per_level)],
+        )
+        for i in range(depth - 1)
+    ]
+    return tree, relations
+
+
+def test_deep_chain_skeleton_matches():
+    depth = 60
+    tree, relations = _chain(depth)
+    arena_fr = FactorisedRelation(
+        tree, arena=factorise(relations, tree, encoding="arena")
+    )
+    object_fr = FactorisedRelation(
+        tree, factorise(relations, tree)
+    )
+    # Swap at the very bottom of the chain, then renormalise: the
+    # kernels recurse the full spine both ways.
+    a, b = f"x{depth - 2:03d}", f"x{depth - 1:03d}"
+    before = ADAPTER.snapshot()["to_object_calls"]
+    arena_out = ops.normalise(ops.swap(arena_fr, a, b))
+    after = ADAPTER.snapshot()["to_object_calls"]
+    assert after == before, "deep chain took adapter round trips"
+    object_out = ops.normalise(ops.swap(object_fr, a, b))
+    _assert_twin(arena_out, object_out, "deep chain swap+normalise")
+
+
+# -- whole-plan compilation ---------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_compiled_plans_match_object_stepwise(seed):
+    """``FPlan.execute`` on arena input runs the fused compiled chain;
+    it must agree with the object path's kernel-at-a-time replay."""
+    db = _database(seed)
+    queries = random_spj_queries(
+        db, 5, seed=seed + 900, max_relations=3, max_equalities=3
+    )
+    arena_engine = FDB(db, encoding="arena")
+    object_engine = FDB(db)
+    with_steps = 0
+    for index, query in enumerate(queries):
+        base = Query.make(query.relations)
+        arena_fr, object_fr = _twins(db, base)
+        followup = Query.make(
+            [],
+            equalities=[
+                (eq.left, eq.right) for eq in query.equalities
+            ],
+        )
+        before = ADAPTER.snapshot()["to_object_calls"]
+        arena_out, arena_plan = arena_engine.evaluate_on(
+            arena_fr, followup
+        )
+        after = ADAPTER.snapshot()["to_object_calls"]
+        assert after == before, (
+            f"seed {seed} query {index}: compiled plan took "
+            f"{after - before} adapter round trips"
+        )
+        object_out, object_plan = object_engine.evaluate_on(
+            object_fr, followup
+        )
+        assert str(arena_plan) == str(object_plan)
+        if arena_plan.steps:
+            with_steps += 1
+        _assert_twin(
+            arena_out, object_out, f"seed {seed} plan {arena_plan}"
+        )
+        # Same plan executed twice hits the compiled-plan cache and
+        # must stay deterministic.
+        rerun = arena_plan.execute(arena_fr)
+        assert _rows(rerun) == _rows(arena_out)
+    assert with_steps >= 1, "no restructuring plan exercised"

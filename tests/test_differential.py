@@ -391,3 +391,64 @@ def test_arena_saved_then_reloaded_results_agree(tmp_path):
             assert (
                 sorted(set(reloaded.rows(order))) == expected
             ), f"reloaded arena result, query {index}: {query}"
+
+
+@pytest.mark.parametrize("db_seed,query_seed,count", BATCHES)
+def test_arena_native_plans_agree_without_adapter_round_trips(
+    db_seed, query_seed, count
+):
+    """Force every query through the factorised-input path: factorise
+    the bare join first, then run selections/projection as an f-plan
+    over it, on both encodings.  The arena side must match the object
+    side, the one-shot engines and SQLite -- and must never round-trip
+    through the object encoding (the adapter counter stays flat)."""
+    from repro.core.factorised import ADAPTER
+
+    db = _database(db_seed)
+    sqlite = SQLiteEngine(db)
+    arena_engine = FDB(db, encoding="arena")
+    object_engine = FDB(db)
+    restructured = 0
+    for index, query in enumerate(_queries(db, query_seed, count)):
+        base = Query.make(query.relations)
+        tree = object_engine.optimal_tree(base)
+        arena_fr = arena_engine.factorise_query(base, tree=tree)
+        object_fr = object_engine.factorise_query(base, tree=tree)
+        followup = Query.make(
+            [],
+            equalities=[
+                (eq.left, eq.right) for eq in query.equalities
+            ],
+            constants=[
+                (c.attribute, c.op, c.value) for c in query.constants
+            ],
+            projection=query.projection,
+        )
+        context = (
+            f"arena plans, seed {db_seed}/{query_seed} "
+            f"query {index}: {query}"
+        )
+        before = ADAPTER.snapshot()["to_object_calls"]
+        arena_out, arena_plan = arena_engine.evaluate_on(
+            arena_fr, followup
+        )
+        after = ADAPTER.snapshot()["to_object_calls"]
+        assert after == before, (
+            f"{context}: {after - before} adapter round trips "
+            f"during plan {arena_plan}"
+        )
+        object_out, object_plan = object_engine.evaluate_on(
+            object_fr, followup
+        )
+        assert str(arena_plan) == str(object_plan), context
+        if arena_plan.steps:
+            restructured += 1
+        assert arena_out.encoding == "arena", context
+        order, expected = fdb_rows(db, query)
+        assert sorted(set(arena_out.rows(order))) == expected, context
+        assert sorted(set(object_out.rows(order))) == expected, context
+        assert sqlite_rows(sqlite, db, query, order) == expected, context
+    assert restructured >= 3, (
+        f"only {restructured} of {count} plans restructured the tree; "
+        "the batch is not exercising swap/merge kernels"
+    )

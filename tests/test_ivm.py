@@ -604,3 +604,61 @@ def test_plan_survives_absorbable_append_dies_on_schema_change(
     assert cold.counters()["hits"] == 0
     assert cold.counters()["misses"] >= 1
     assert cold.counters()["writes"] == 1
+
+
+def test_delta_merged_arena_result_runs_fused_plans():
+    """A delta-maintained arena result (a :func:`repro.ops.union` of
+    the original result and its catch-up terms) must feed straight
+    into the fused compiled-plan path: restructuring selections over
+    it run arena-native, adapter-free, and exact."""
+    from itertools import combinations
+
+    from repro.core.factorised import ADAPTER
+
+    db = _database(11)
+    with QuerySession(
+        db, encoding="arena", check_invariants=True
+    ) as session:
+        pool = _pool(db, 11)
+        for query in pool:
+            session.run(query)
+        target = pool[0]
+        name = target.relations[0]
+        relation = db[name]
+        db.extend_rows(
+            name, [tuple(9 for _ in relation.attributes)]
+        )
+        result = session.run(target)
+        assert result.cached, "append-then-requery must serve warm"
+        counters = session.cache_counters()["results"]
+        assert counters["delta_merges"] >= 1
+        fr = result.factorised
+        assert fr is not None and fr.encoding == "arena"
+
+    engine = FDB(db, encoding="arena")
+    order = tuple(sorted(fr.tree.attributes()))
+    base_rows = set(fr.rows(order))
+    fused = 0
+    for a, b in combinations(order, 2):
+        followup = Query.make([], equalities=[(a, b)])
+        plan = engine.plan_for(fr.tree, [(a, b)])
+        if not plan.steps:
+            continue
+        before = ADAPTER.snapshot()["to_object_calls"]
+        out, plan = engine.evaluate_on(fr, followup)
+        after = ADAPTER.snapshot()["to_object_calls"]
+        assert after == before, (
+            f"{after - before} adapter round trips during {plan}"
+        )
+        assert out.encoding == "arena"
+        ia, ib = order.index(a), order.index(b)
+        expected = sorted(
+            {row for row in base_rows if row[ia] == row[ib]}
+        )
+        assert sorted(set(out.rows(order))) == expected, (
+            f"fused plan {plan} over delta-merged result"
+        )
+        fused += 1
+        if fused >= 4:
+            break
+    assert fused >= 1, "no restructuring plan exercised"
