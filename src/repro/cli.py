@@ -16,7 +16,11 @@ Subcommands:
                  FDBP format;
 - ``load``       inspect a persisted file and optionally query it;
 - ``compile``    factorise a query result and save it to a file;
-- ``stats``      show f-tree, sizes and costs of a saved factorisation;
+- ``stats``      show f-tree, sizes and costs of a saved factorisation
+                 -- or, with ``--connect``, a live server's unified
+                 metrics snapshot (``--prometheus`` for scrape text);
+- ``explain``    show a query's f-tree and f-plan; ``--profile`` times
+                 every restructuring kernel of the arena pipeline;
 - ``experiment`` run one of the paper's experiments (1-4);
 - ``shell``      a minimal interactive prompt over loaded CSVs.
 
@@ -51,6 +55,8 @@ from repro.experiments import (
 )
 from repro.exec import ParallelExecutor, SerialExecutor
 from repro.net.protocol import DEFAULT_PORT
+from repro.obs import report
+from repro.obs.slowlog import SlowQueryLog
 from repro.query.parser import parse_query
 from repro.relational.budget import Budget, BudgetExceeded
 from repro.relational.csvio import load_database
@@ -179,48 +185,14 @@ def _cmd_batch_remote(args: argparse.Namespace) -> int:
                 f"[remote {host}:{port}, {info.get('encoding')} "
                 f"encoding]"
             )
-            stats = client.stats()
-            sess = stats["session"]
-            print(
-                f"plans: {sess['plan_misses']} compiled, "
-                f"{sess['plan_hits']} cache hits, "
-                f"{sess['plan_evictions']} evicted, "
-                f"{sess['batch_deduped']} batch-deduplicated"
-            )
-            store = stats.get("plan_store")
-            if store is not None:
-                print(
-                    f"plan store: {sess['store_hits']} hits, "
-                    f"{sess['store_misses']} misses, "
-                    f"{store['writes']} written, "
-                    f"{store['stale_evictions']} stale-evicted"
-                )
-            _print_result_cache_line(
-                (stats.get("caches") or {}).get("results")
-            )
-            srv = stats["server"]
-            print(
-                f"server: {srv['requests']} requests over "
-                f"{srv['connections']} connections, "
-                f"peak pending {srv['peak_pending']}"
-            )
+            # The remote stats frame is the server's registry
+            # snapshot: the same structure session.snapshot() yields
+            # locally, rendered by the same formatter.
+            for line in report.session_lines(client.stats()):
+                print(line)
     except NetError as exc:
         raise SystemExit(f"remote batch failed: {exc}")
     return 0
-
-
-def _print_result_cache_line(counters) -> None:
-    """One ``results:`` line of incremental-maintenance counters, so
-    CI smoke runs can assert warm behaviour across a mutation."""
-    if not counters:
-        return
-    print(
-        f"results: {counters['hits']} warm hits, "
-        f"{counters['misses']} misses, "
-        f"{counters['delta_merges']} delta merges "
-        f"({counters['delta_rows']} rows), "
-        f"{counters['invalidations']} invalidated"
-    )
 
 
 def _read_batch_queries(args: argparse.Namespace) -> List[str]:
@@ -317,7 +289,6 @@ def cmd_batch(args: argparse.Namespace) -> int:
                 f"{result.count():8d} tuples  "
                 f"{result.elapsed:.4f}s  {result.query}"
             )
-    stats = session.stats
     layout = []
     if isinstance(db, ShardedDatabase):
         layout.append(f"{db.shard_count} shards ({db.strategy})")
@@ -329,28 +300,17 @@ def cmd_batch(args: argparse.Namespace) -> int:
         f"({len(results) / max(elapsed, 1e-9):.1f} q/s) "
         f"[{', '.join(layout)}]"
     )
-    reused = stats.plan_hits + stats.batch_deduped
-    print(
-        f"plans: {stats.plan_misses} compiled, {stats.plan_hits} cache "
-        f"hits, {stats.plan_evictions} evicted, "
-        f"{stats.batch_deduped} batch-deduplicated "
-        f"(reuse rate {reused / max(len(results), 1):.0%})"
-    )
-    print(
-        f"fallbacks to flat engine: {stats.fallbacks}; "
-        f"statistics built {stats.stats_builds}x; "
-        f"invalidations: {stats.invalidations}"
-    )
-    _print_result_cache_line(session.cache_counters().get("results"))
-    if plan_store is not None:
-        counters = plan_store.counters()
-        print(
-            f"plan store: {stats.store_hits} hits, "
-            f"{stats.store_misses} misses, "
-            f"{counters['writes']} written, "
-            f"{counters['stale_evictions']} stale-evicted "
-            f"({counters['size']} entries at {plan_store.path})"
-        )
+    # Counter reporting goes through the unified registry snapshot --
+    # the same lines a remote `batch --connect` renders from the
+    # server's stats frame (see repro.obs.report).
+    for line in report.session_lines(
+        session.snapshot(),
+        total_queries=len(results),
+        plan_store_path=(
+            plan_store.path if plan_store is not None else None
+        ),
+    ):
+        print(line)
     return 0
 
 
@@ -379,6 +339,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     plan_store = (
         persist.PlanStore(args.plan_store) if args.plan_store else None
     )
+    slow_log = SlowQueryLog(
+        threshold=args.slow_query_threshold,
+        path=args.slow_query_log or None,
+    )
     session = QuerySession(
         db,
         plan_search=args.planner,
@@ -387,6 +351,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         plan_store=plan_store,
         encoding=args.encoding,
+        slow_log=slow_log,
     )
 
     async def _main() -> int:
@@ -395,6 +360,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             host=args.host,
             port=args.port,
             max_pending=args.max_pending,
+            metrics_port=args.metrics_port,
         )
         await server.start()
         host, port = server.address
@@ -411,6 +377,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"[{', '.join(shape)}]",
             flush=True,
         )
+        metrics_addr = server.metrics_address
+        if metrics_addr is not None:
+            print(
+                f"metrics on http://{metrics_addr[0]}:"
+                f"{metrics_addr[1]}/metrics",
+                flush=True,
+            )
         loop = asyncio.get_running_loop()
         stop = asyncio.Event()
         for sig in (signal.SIGINT, signal.SIGTERM):
@@ -501,8 +474,76 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
+    if args.connect:
+        return _cmd_stats_remote(args)
+    if not args.factorisation:
+        raise SystemExit(
+            "pass a saved factorisation, or --connect HOST:PORT for "
+            "a live server's metrics"
+        )
     fr = serialize.load_path(args.factorisation)
     _print_result(fr, flat=False, limit=0)
+    return 0
+
+
+def _cmd_stats_remote(args: argparse.Namespace) -> int:
+    """The unified observability snapshot of a running server."""
+    import json
+
+    from repro.net import NetError, RemoteSession
+
+    try:
+        with RemoteSession(args.connect) as client:
+            if args.prometheus:
+                print(client.metrics_text(), end="")
+            else:
+                snapshot = client.metrics()
+                snapshot.pop("id", None)
+                print(json.dumps(snapshot, indent=2, sort_keys=True))
+    except NetError as exc:
+        raise SystemExit(f"remote stats failed: {exc}")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Show the f-tree and f-plan a query compiles to -- and, with
+    ``--profile``, the per-operator kernel timing of the arena
+    pipeline that executes it (the serving-layer twin of fig 7/8)."""
+    from repro import ops
+    from repro.obs.profile import profile_plan
+    from repro.query.query import Query
+
+    db = _load_database_arg(args)
+    query = parse_query(args.query)
+    fdb = FDB(db, plan_search=args.planner, encoding="arena")
+    # Mirror QuerySession.run_on: factorise the base join, apply the
+    # constants, then restructure for the equalities via an f-plan --
+    # the path whose per-kernel cost --profile exposes.
+    base = Query.make(query.relations)
+    tree = fdb.optimal_tree(base)
+    fr = fdb.factorise_query(base, tree=tree)
+    for cond in query.constants:
+        if cond.attribute not in fr.tree.attributes():
+            raise SystemExit(f"unknown attribute {cond.attribute!r}")
+        fr = ops.select_constant(fr, cond)
+    pairs = [(eq.left, eq.right) for eq in query.equalities]
+    plan = fdb.plan_for(fr.tree, pairs)
+    print(f"f-tree (base join):\n{fr.tree.pretty()}")
+    if plan.steps:
+        print(f"f-plan ({len(plan.steps)} steps, cost {plan.cost}):")
+        for i, step in enumerate(plan.steps):
+            print(f"  [{i}] {step}")
+    else:
+        print("f-plan: identity (no restructuring needed)")
+    result, profile = profile_plan(plan, fr)
+    if query.projection is not None:
+        result = ops.project(result, query.projection)
+    print(
+        f"result: {result.count()} tuples, "
+        f"{result.size()} singletons"
+    )
+    if args.profile:
+        print(profile.format_table())
     return 0
 
 
@@ -772,6 +813,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="admission bound: in-flight requests before the server "
         "stops reading (TCP backpressure)",
     )
+    srv.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="also serve Prometheus text metrics over HTTP on this "
+        "port (GET /metrics)",
+    )
+    srv.add_argument(
+        "--slow-query-threshold",
+        type=float,
+        default=1.0,
+        help="seconds above which a query lands in the slow-query "
+        "log (default 1.0)",
+    )
+    srv.add_argument(
+        "--slow-query-log",
+        default=None,
+        metavar="PATH",
+        help="append slow-query entries as JSON lines to this file "
+        "(in-memory ring buffer only, when omitted)",
+    )
     srv.set_defaults(func=cmd_serve)
 
     sv = sub.add_parser(
@@ -819,10 +881,45 @@ def build_parser() -> argparse.ArgumentParser:
     c.set_defaults(func=cmd_compile)
 
     s = sub.add_parser(
-        "stats", help="inspect a saved factorisation"
+        "stats",
+        help="inspect a saved factorisation, or a live server's "
+        "unified metrics snapshot (--connect)",
     )
-    s.add_argument("factorisation")
+    s.add_argument("factorisation", nargs="?")
+    add_connect(s)
+    s.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="with --connect: print the Prometheus text exposition "
+        "instead of the JSON snapshot",
+    )
     s.set_defaults(func=cmd_stats)
+
+    ex = sub.add_parser(
+        "explain",
+        help="show a query's f-tree and f-plan; --profile times "
+        "every restructuring kernel",
+    )
+    add_csv(ex)
+    ex.add_argument("query")
+    ex.add_argument(
+        "--db",
+        default=None,
+        help="explain against a database saved with 'repro save' "
+        "(overrides --csv)",
+    )
+    ex.add_argument(
+        "--planner",
+        choices=["exhaustive", "greedy"],
+        default="exhaustive",
+    )
+    ex.add_argument(
+        "--profile",
+        action="store_true",
+        help="execute the plan one kernel at a time and print the "
+        "per-operator timing table",
+    )
+    ex.set_defaults(func=cmd_explain)
 
     e = sub.add_parser(
         "experiment", help="run a Section 5 experiment"

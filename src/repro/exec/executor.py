@@ -32,6 +32,7 @@ from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exec import worker
+from repro.obs import trace as obs_trace
 from repro.query.query import Query
 from repro.storage.sharded import ShardedDatabase
 
@@ -187,11 +188,15 @@ class ParallelExecutor(Executor):
     def _submit_full(self, session, query: Query, tree) -> Future:
         # Workers return the *unprojected* join result; the
         # coordinator caches it for delta maintenance, then projects.
+        # The active trace context (a plain dict) rides along so
+        # worker-side spans come back correlated.
+        ctx = obs_trace.context()
         if self.pool_kind == "process":
-            return self._pool.submit(worker.join_task, query, tree)
+            return self._pool.submit(worker.join_task, query, tree, ctx)
         return self._pool.submit(
             partial(
-                worker.timed_call,
+                worker.traced_call,
+                ctx,
                 worker.evaluate_join,
                 session.database,
                 session.check_invariants,
@@ -204,13 +209,15 @@ class ParallelExecutor(Executor):
     def _submit_shard(
         self, session, query: Query, tree, index: int, fanout: str
     ) -> Future:
+        ctx = obs_trace.context()
         if self.pool_kind == "process":
             return self._pool.submit(
-                worker.shard_task, query, tree, index, fanout
+                worker.shard_task, query, tree, index, fanout, ctx
             )
         return self._pool.submit(
             partial(
-                worker.timed_call,
+                worker.traced_call,
+                ctx,
                 worker.evaluate_shard,
                 session.database,
                 session.check_invariants,
@@ -248,11 +255,13 @@ class ParallelExecutor(Executor):
             else:
                 query.validate_against(session.database.schema())
                 pending.append((i, self._submit_compile(session, query)))
-        for i, future in pending:
-            plans[i] = (
-                session.store_plan(queries[i], future.result()),
-                False,
-            )
+        if pending:
+            with obs_trace.span("compile-wave", misses=len(pending)):
+                for i, future in pending:
+                    plans[i] = (
+                        session.store_plan(queries[i], future.result()),
+                        False,
+                    )
 
         # Wave 2: fan execution out -- per query, or per (query, shard)
         # on a sharded store.  Explosion fallbacks run serially in the
@@ -318,8 +327,11 @@ class ParallelExecutor(Executor):
                     )
                 )
                 continue
+            trace = obs_trace.current()
             if kind == "full":
-                elapsed, fr = payload.result()
+                elapsed, fr, records = payload.result()
+                if trace is not None and records:
+                    trace.extend(records, prefix="worker:")
                 finish_start = time.perf_counter()
                 session._cache_result(query, plan.tree, fr)
                 fr = worker.project_result(
@@ -328,9 +340,13 @@ class ParallelExecutor(Executor):
                 elapsed += time.perf_counter() - finish_start
             else:
                 parts = [future.result() for future in payload]
+                if trace is not None:
+                    for _, _, records in parts:
+                        if records:
+                            trace.extend(records, prefix="worker:")
                 combine_start = time.perf_counter()
                 fr = worker.combine_shards(
-                    [part for _, part in parts],
+                    [part for _, part, _ in parts],
                     query,
                     session.check_invariants,
                     project=False,
@@ -339,7 +355,7 @@ class ParallelExecutor(Executor):
                 fr = worker.project_result(
                     fr, query, session.check_invariants
                 )
-                elapsed = max(seconds for seconds, _ in parts) + (
+                elapsed = max(seconds for seconds, _, _ in parts) + (
                     time.perf_counter() - combine_start
                 )
             results.append(

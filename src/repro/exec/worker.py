@@ -18,9 +18,10 @@ from __future__ import annotations
 
 import time
 import weakref
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro import ops
+from repro.obs import trace as obs_trace
 from repro.core.arena import ValuePool
 from repro.core.factorised import FactorisedRelation
 from repro.core.ftree import FTree
@@ -92,6 +93,27 @@ def timed_call(fn, *args) -> Tuple[float, object]:
     return time.perf_counter() - start, result
 
 
+def traced_call(
+    ctx: Optional[dict], fn, *args
+) -> Tuple[float, object, List[dict]]:
+    """:func:`timed_call` under a fresh worker-side trace.
+
+    Contextvars do not cross the pool boundary, so the coordinator
+    ships ``trace.context()`` (a plain dict) and the worker seeds a
+    local :class:`~repro.obs.trace.Trace` from it.  The returned span
+    records are plain dicts -- picklable -- for the coordinator to
+    :meth:`~repro.obs.trace.Trace.extend` back into its own trace.
+    ``ctx=None`` still traces (records are cheap and the caller may
+    drop them); the shared trace id is simply absent.
+    """
+    trace = obs_trace.Trace(trace_id=(ctx or {}).get("id"))
+    with obs_trace.activate(trace):
+        start = time.perf_counter()
+        result = fn(*args)
+        seconds = time.perf_counter() - start
+    return seconds, result, trace.records
+
+
 def compile_task(query: Query) -> FTree:
     return _STATE["engine"].optimal_tree(query)
 
@@ -110,12 +132,15 @@ def execute_task(
 
 
 def join_task(
-    query: Query, tree: FTree
-) -> Tuple[float, FactorisedRelation]:
+    query: Query, tree: FTree, ctx: Optional[dict] = None
+) -> Tuple[float, FactorisedRelation, List[dict]]:
     """Like :func:`execute_task` but **without** the projection, so the
     coordinator can cache the join result for delta maintenance
-    (:mod:`repro.ivm`) before projecting."""
-    return timed_call(
+    (:mod:`repro.ivm`) before projecting.  ``ctx`` carries the
+    coordinator's trace context; worker-side spans come back as the
+    third tuple element."""
+    return traced_call(
+        ctx,
         evaluate_join,
         _STATE["database"],
         bool(_STATE["check_invariants"]),
@@ -126,9 +151,11 @@ def join_task(
 
 
 def shard_task(
-    query: Query, tree: FTree, index: int, fanout: str
-) -> Tuple[float, FactorisedRelation]:
-    return timed_call(
+    query: Query, tree: FTree, index: int, fanout: str,
+    ctx: Optional[dict] = None,
+) -> Tuple[float, FactorisedRelation, List[dict]]:
+    return traced_call(
+        ctx,
         evaluate_shard,
         _STATE["database"],
         bool(_STATE["check_invariants"]),
@@ -180,7 +207,8 @@ def evaluate_join(
             shared_pool_for(database) if encoding == "arena" else None
         ),
     )
-    return engine.factorise_query(query, tree=tree)
+    with obs_trace.span("factorise"):
+        return engine.factorise_query(query, tree=tree)
 
 
 def project_result(
@@ -189,7 +217,8 @@ def project_result(
     """Apply ``query``'s projection to a join result (no-op without
     one)."""
     if query.projection is not None:
-        fr = ops.project(fr, query.projection)
+        with obs_trace.span("project"):
+            fr = ops.project(fr, query.projection)
         if check_invariants:
             fr.validate()
     return fr
@@ -234,7 +263,8 @@ def evaluate_shard(
             shared_pool_for(database) if encoding == "arena" else None
         ),
     )
-    return engine.factorise_query(query, tree=tree)
+    with obs_trace.span("shard", shard=index):
+        return engine.factorise_query(query, tree=tree)
 
 
 def combine_shards(
@@ -252,7 +282,8 @@ def combine_shards(
     parts = list(parts)
     if not parts:
         raise ValueError("combine_shards needs at least one shard result")
-    fr = ops.union_all(parts)
+    with obs_trace.span("union", parts=len(parts)):
+        fr = ops.union_all(parts)
     if check_invariants:
         fr.validate()
     if not project:

@@ -37,6 +37,7 @@ from repro.net.protocol import (
     DEFAULT_PORT,
     ProtocolError,
 )
+from repro.obs import trace as obs_trace
 from repro.query.parser import parse_query
 from repro.query.query import Query
 from repro.service.session import SessionResult
@@ -174,7 +175,7 @@ class RemoteSession:
             {"sql": str(query), "engine": engine},
             context=("result", query),
         )
-        return self._await(rid, future)
+        return self._absorb_spans(self._await(rid, future))
 
     def submit(
         self, query: Union[Query, str], engine: str = "auto"
@@ -204,13 +205,41 @@ class RemoteSession:
             {"sql": [str(q) for q in parsed], "engine": engine},
             context=("batch", parsed),
         )
-        return self._await(rid, future)
+        results = self._await(rid, future)
+        for result in results:
+            self._absorb_spans(result)
+        return results
+
+    def _absorb_spans(self, result: SessionResult) -> SessionResult:
+        """Merge a result's server-side spans into the caller's active
+        trace (if any), prefixed ``server:`` -- so one client-side
+        trace shows the whole client -> server -> worker breakdown."""
+        trace = obs_trace.current()
+        if trace is not None and result.spans:
+            trace.extend(result.spans, prefix="server:")
+        return result
 
     def stats(self) -> Dict[str, Any]:
-        """The server's ``STATS`` document (server / session / cache /
-        queue / plan-store counters)."""
+        """The server's ``STATS`` document: the unified registry
+        snapshot (server / session / cache / queue / plan-store /
+        slow-log counters) plus the request id."""
         rid, future = self._request("stats", {}, context=("stats",))
         return self._await(rid, future)
+
+    def metrics(self) -> Dict[str, Any]:
+        """The server's unified metrics snapshot (a plain nested
+        dict; the same document the Prometheus endpoint flattens)."""
+        snapshot, _ = self._await(
+            *self._request("metrics", {}, context=("metrics",))
+        )
+        return snapshot
+
+    def metrics_text(self) -> str:
+        """The server's metrics in Prometheus text exposition format."""
+        _, text = self._await(
+            *self._request("metrics", {}, context=("metrics",))
+        )
+        return text
 
     # -- mutations ---------------------------------------------------------
 
@@ -260,7 +289,8 @@ class RemoteSession:
         fanout: str,
     ) -> Future:
         """Evaluate (query, shard) on the worker; resolves to
-        ``(worker_seconds, FactorisedRelation)`` without projection."""
+        ``(worker_seconds, FactorisedRelation, span_records)`` without
+        projection."""
         query = _as_query(query)
         _, future = self._request(
             "shard",
@@ -274,7 +304,8 @@ class RemoteSession:
         self, query: Union[Query, str], tree: FTree
     ) -> Future:
         """Evaluate a whole query on the worker (projection applied);
-        resolves to ``(worker_seconds, FactorisedRelation)``."""
+        resolves to ``(worker_seconds, FactorisedRelation,
+        span_records)``."""
         query = _as_query(query)
         _, future = self._request(
             "execute",
@@ -330,6 +361,16 @@ class RemoteSession:
             "execute",
         ):
             header = {**header, "pool": True}
+        if kind in ("query", "batch", "shard", "execute", "mutate"):
+            # Carry the caller's trace context (plus our request id)
+            # to the server: its trace -- and its slow-query log
+            # entries -- then correlate back to this client request.
+            ctx = obs_trace.context()
+            if ctx is not None:
+                header = {
+                    **header,
+                    "trace": {**ctx, "client": rid},
+                }
         with self._state_lock:
             if self._closed:
                 raise NetError("session is closed")
@@ -448,13 +489,19 @@ class RemoteSession:
                     f"worker returned a {type(fr).__name__}, not a "
                     f"factorised relation"
                 )
-            return float(header.get("elapsed", 0.0)), fr
+            return (
+                float(header.get("elapsed", 0.0)),
+                fr,
+                list(header.get("spans") or ()),
+            )
         if kind == "batch-result" and shape == "batch":
             return protocol.unpack_results(
                 context[1], header["results"], payload, self._pool_dec
             )
         if kind == "stats-result" and shape == "stats":
             return header
+        if kind == "metrics-result" and shape == "metrics":
+            return header, payload.decode("utf-8")
         if kind == "mutate-result" and shape == "mutate":
             return header
         raise NetError(

@@ -91,6 +91,7 @@ REQUEST_KINDS = (
     "shard",
     "execute",
     "stats",
+    "metrics",
     "mutate",
 )
 
@@ -100,6 +101,7 @@ RESPONSE_KINDS = (
     "result",
     "batch-result",
     "stats-result",
+    "metrics-result",
     "mutate-result",
     "error",
 )
@@ -301,7 +303,9 @@ def unpack_pooled(
 
 
 def pack_result(
-    result: SessionResult, pool: Optional[ArenaPoolEncoder] = None
+    result: SessionResult,
+    pool: Optional[ArenaPoolEncoder] = None,
+    include_spans: bool = True,
 ) -> Tuple[Dict[str, Any], bytes]:
     """(meta, payload) for one evaluated query (see module docstring).
 
@@ -315,6 +319,16 @@ def pack_result(
         "deduped": result.deduped,
         "elapsed": result.elapsed,
     }
+    # Observability rides in the meta: span records are plain JSON
+    # dicts, so a remote caller sees the same breakdown a local one
+    # does (client-side code prefixes them "server:" on merge).  The
+    # server only sets ``include_spans`` for requests that carried a
+    # trace context -- untraced traffic must not grow by hundreds of
+    # bytes of span records per result.
+    if result.trace_id is not None:
+        meta["trace"] = result.trace_id
+    if include_spans and result.spans:
+        meta["spans"] = result.spans
     if result.factorised is not None:
         if pool is not None and result.factorised.encoding == "arena":
             meta["payload"] = "fdbp-pool"
@@ -345,6 +359,11 @@ def unpack_result(
         payload_kind = meta["payload"]
     except (KeyError, TypeError, ValueError) as exc:
         raise ProtocolError(f"malformed result meta: {meta!r}") from exc
+    spans = meta.get("spans")
+    obs = {
+        "spans": list(spans) if spans else None,
+        "trace_id": meta.get("trace"),
+    }
     if payload_kind == "fdbp-pool":
         return SessionResult(
             query=query,
@@ -353,6 +372,7 @@ def unpack_result(
             deduped=deduped,
             elapsed=elapsed,
             factorised=unpack_pooled(payload, pool),
+            **obs,
         )
     if payload_kind == "fdbp":
         obj = unpack_blob(payload)
@@ -364,6 +384,7 @@ def unpack_result(
                 deduped=deduped,
                 elapsed=elapsed,
                 factorised=obj,
+                **obs,
             )
         if isinstance(obj, Relation):
             return SessionResult(
@@ -373,6 +394,7 @@ def unpack_result(
                 deduped=deduped,
                 elapsed=elapsed,
                 flat=obj,
+                **obs,
             )
         raise ProtocolError(
             f"result blob holds a {type(obj).__name__}, not a "
@@ -388,6 +410,7 @@ def unpack_result(
             elapsed=elapsed,
             raw=_decode_rows(payload, len(attributes)),
             raw_attributes=attributes,
+            **obs,
         )
     raise ProtocolError(f"unknown result payload kind {payload_kind!r}")
 
@@ -395,6 +418,7 @@ def unpack_result(
 def pack_results(
     results: List[SessionResult],
     pool: Optional[ArenaPoolEncoder] = None,
+    include_spans: bool = True,
 ) -> Tuple[List[Dict[str, Any]], bytes]:
     """Frame a whole batch: per-result metas (with byte extents) plus
     the concatenated payloads.  Pooled payloads within one batch chain
@@ -402,7 +426,7 @@ def pack_results(
     metas: List[Dict[str, Any]] = []
     parts: List[bytes] = []
     for result in results:
-        meta, payload = pack_result(result, pool)
+        meta, payload = pack_result(result, pool, include_spans)
         meta["nbytes"] = len(payload)
         metas.append(meta)
         parts.append(payload)

@@ -42,6 +42,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.exec import worker as worker_mod
 from repro.exec.executor import Executor
 from repro.net.client import Address, NetError, RemoteSession, parse_address
+from repro.obs import trace as obs_trace
 from repro.query.query import Query
 from repro.storage.sharded import ShardedDatabase
 
@@ -290,35 +291,53 @@ class RemoteExecutor(Executor):
         if pending is not None:
             worker_index, future = pending
             try:
-                return future.result(self.timeout)
+                seconds, part, spans = future.result(self.timeout)
             except (NetError, TimeoutError, _FutureTimeout, OSError):
                 self._mark_lost(worker_index)
+            else:
+                self._absorb_spans(worker_index, spans)
+                return seconds, part
         # Degrade: evaluate this shard on the coordinator's own copy.
+        # The fallback gets its own span so a trace shows *where* the
+        # work really ran when a worker was lost.
         self.local_fallbacks += 1
-        return worker_mod.timed_call(
-            worker_mod.evaluate_shard,
-            session.database,
-            session.check_invariants,
-            query,
-            tree,
-            index,
-            fanout,
-            session.encoding,
-        )
+        with obs_trace.span("shard-local-fallback", shard=index):
+            return worker_mod.timed_call(
+                worker_mod.evaluate_shard,
+                session.database,
+                session.check_invariants,
+                query,
+                tree,
+                index,
+                fanout,
+                session.encoding,
+            )
 
     def _gather_full(self, session, query: Query, tree, pending):
         if pending is not None:
             worker_index, future = pending
             try:
-                return future.result(self.timeout)
+                seconds, fr, spans = future.result(self.timeout)
             except (NetError, TimeoutError, _FutureTimeout, OSError):
                 self._mark_lost(worker_index)
+            else:
+                self._absorb_spans(worker_index, spans)
+                return seconds, fr
         self.local_fallbacks += 1
-        return worker_mod.timed_call(
-            worker_mod.evaluate_full,
-            session.database,
-            session.check_invariants,
-            query,
-            tree,
-            session.encoding,
-        )
+        with obs_trace.span("execute-local-fallback"):
+            return worker_mod.timed_call(
+                worker_mod.evaluate_full,
+                session.database,
+                session.check_invariants,
+                query,
+                tree,
+                session.encoding,
+            )
+
+    @staticmethod
+    def _absorb_spans(worker_index: int, spans) -> None:
+        """Merge one remote part's span records into the active trace,
+        prefixed by the worker that produced them."""
+        trace = obs_trace.current()
+        if trace is not None and spans:
+            trace.extend(spans, prefix=f"remote[{worker_index}]:")

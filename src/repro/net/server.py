@@ -51,6 +51,8 @@ from repro.core.ftree import FTree
 from repro.exec import worker as worker_mod
 from repro.net import protocol
 from repro.net.protocol import DEFAULT_MAX_FRAME, ProtocolError
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry
 from repro.query.parser import parse_query
 from repro.storage.sharded import ShardedDatabase
 
@@ -101,6 +103,10 @@ class QueryServer:
         peer guard and a memory bound).
     task_threads:
         Thread-pool size for ``shard``/``execute`` worker tasks.
+    metrics_port:
+        When set, additionally serve a plain-HTTP Prometheus text
+        endpoint (``GET /metrics``) on this port -- the standard
+        scrape surface, separate from the binary query port.
     """
 
     def __init__(
@@ -111,6 +117,7 @@ class QueryServer:
         max_pending: int = 128,
         max_frame: int = DEFAULT_MAX_FRAME,
         task_threads: int = 4,
+        metrics_port: Optional[int] = None,
     ) -> None:
         if max_pending < 1:
             raise ValueError("max_pending must be positive")
@@ -119,9 +126,20 @@ class QueryServer:
         self.port = port
         self.max_pending = max_pending
         self.max_frame = max_frame
+        self.metrics_port = metrics_port
         self.stats = ServerStats()
+        # Share the session's registry so one snapshot covers every
+        # tier; register the server's own counters alongside.
+        self.registry: MetricsRegistry = getattr(
+            session, "registry", None
+        ) or MetricsRegistry()
+        self.registry.register("server", self._server_counters)
+        self._request_seconds = self.registry.histogram(
+            "request_seconds"
+        )
         self.started_at: Optional[float] = None
         self._server: Optional[asyncio.AbstractServer] = None
+        self._metrics_server: Optional[asyncio.AbstractServer] = None
         self._sem: Optional[asyncio.Semaphore] = None
         self._pool = ThreadPoolExecutor(
             max_workers=task_threads, thread_name_prefix="repro-net-task"
@@ -140,6 +158,10 @@ class QueryServer:
         self._server = await asyncio.start_server(
             self._handle, self.host, self.port
         )
+        if self.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_metrics, self.host, self.metrics_port
+            )
         self.started_at = time.time()
 
     @property
@@ -148,6 +170,13 @@ class QueryServer:
         if self._server is None or not self._server.sockets:
             raise RuntimeError("server is not started")
         return self._server.sockets[0].getsockname()[:2]
+
+    @property
+    def metrics_address(self) -> Optional[Tuple[str, int]]:
+        """The bound (host, port) of the Prometheus endpoint, if any."""
+        if self._metrics_server is None or not self._metrics_server.sockets:
+            return None
+        return self._metrics_server.sockets[0].getsockname()[:2]
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -169,6 +198,10 @@ class QueryServer:
             self._server.close()
             with contextlib.suppress(Exception):
                 await self._server.wait_closed()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            with contextlib.suppress(Exception):
+                await self._metrics_server.wait_closed()
         if self._idle is not None:
             await self._idle.wait()
         for writer in list(self._writers):
@@ -269,13 +302,21 @@ class QueryServer:
                     )
                     continue
                 self._admitted()
-                task = asyncio.ensure_future(
-                    self._process(
-                        kind, header, payload, writer, lock, pool_enc
+                try:
+                    task = asyncio.ensure_future(
+                        self._process(
+                            kind, header, payload, writer, lock, pool_enc
+                        )
                     )
-                )
-                self._tasks.add(task)
-                task.add_done_callback(self._task_done)
+                    self._tasks.add(task)
+                    task.add_done_callback(self._task_done)
+                except BaseException:
+                    # Failing to even schedule the task must not leak
+                    # the pending gauge or the admission slot: the
+                    # drain barrier and backpressure both hang off
+                    # them (tests assert the gauges return to zero).
+                    self._retire()
+                    raise
         finally:
             self.stats.active_connections -= 1
             self._writers.discard(writer)
@@ -290,12 +331,18 @@ class QueryServer:
         )
         self._idle.clear()
 
-    def _task_done(self, task: asyncio.Task) -> None:
-        self._tasks.discard(task)
+    def _retire(self) -> None:
+        """Undo one :meth:`_admitted`: every admission retires exactly
+        once, on *every* path (completion, cancellation, scheduling
+        failure), or the pending gauge drifts and drain deadlocks."""
         self.stats.pending -= 1
         if self.stats.pending == 0:
             self._idle.set()
         self._sem.release()
+
+    def _task_done(self, task: asyncio.Task) -> None:
+        self._tasks.discard(task)
+        self._retire()
         with contextlib.suppress(asyncio.CancelledError):
             exc = task.exception()
             if exc is not None:  # _process never raises by design
@@ -313,6 +360,7 @@ class QueryServer:
         pool_enc: "protocol.ArenaPoolEncoder",
     ) -> None:
         rid = header.get("id")
+        start = time.perf_counter()
         try:
             if kind == "query":
                 await self._process_query(header, writer, lock, pool_enc)
@@ -333,6 +381,15 @@ class QueryServer:
                 await self._send(
                     writer, lock, "stats-result", self.describe_stats(rid)
                 )
+            elif kind == "metrics":
+                self.stats.stats_requests += 1
+                await self._send(
+                    writer,
+                    lock,
+                    "metrics-result",
+                    {"id": rid, **self.registry.snapshot()},
+                    self.registry.prometheus_text().encode("utf-8"),
+                )
             else:
                 raise ProtocolError(
                     f"server cannot handle {kind!r} messages"
@@ -342,6 +399,8 @@ class QueryServer:
             await self._send_error(
                 writer, lock, rid, str(exc), kind=type(exc).__name__
             )
+        finally:
+            self._request_seconds.observe(time.perf_counter() - start)
 
     async def _process_query(
         self,
@@ -351,14 +410,18 @@ class QueryServer:
         pool_enc: "protocol.ArenaPoolEncoder",
     ) -> None:
         self.stats.queries += 1
-        query = parse_query(str(header["sql"]))
+        trace = self._seed_trace(header)
+        with obs_trace.activate(trace):
+            with obs_trace.span("parse"):
+                query = parse_query(str(header["sql"]))
         engine = str(header.get("engine") or "auto")
-        future = self.session.submit(query, engine)
+        future = self.session.submit(query, engine, trace=trace)
         result = await asyncio.wrap_future(future)
         pool = pool_enc if header.get("pool") else None
+        spans = bool(header.get("trace") or header.get("spans"))
 
         def pack():
-            meta, payload = protocol.pack_result(result, pool)
+            meta, payload = protocol.pack_result(result, pool, spans)
             meta["id"] = header.get("id")
             return "result", meta, payload
 
@@ -376,15 +439,23 @@ class QueryServer:
         if not isinstance(statements, list):
             raise ProtocolError("batch 'sql' must be a list of statements")
         engine = str(header.get("engine") or "auto")
-        queries = [parse_query(str(stmt)) for stmt in statements]
+        trace = self._seed_trace(header)
+        with obs_trace.activate(trace):
+            with obs_trace.span("parse", statements=len(statements)):
+                queries = [parse_query(str(stmt)) for stmt in statements]
         # One submit per query (not run_batch): that is what lets the
         # coalescer interleave *other* clients' queries with these.
-        futures = [self.session.submit(q, engine) for q in queries]
+        # Every statement shares the request's trace: its spans land
+        # on each result next to the wave's own.
+        futures = [
+            self.session.submit(q, engine, trace=trace) for q in queries
+        ]
         results = [await asyncio.wrap_future(f) for f in futures]
         pool = pool_enc if header.get("pool") else None
+        spans = bool(header.get("trace") or header.get("spans"))
 
         def pack():
-            metas, payload = protocol.pack_results(results, pool)
+            metas, payload = protocol.pack_results(results, pool, spans)
             return (
                 "batch-result",
                 {"id": header.get("id"), "results": metas},
@@ -392,6 +463,25 @@ class QueryServer:
             )
 
         await self._send_packed(writer, lock, pool, pack)
+
+    def _seed_trace(
+        self, header: Dict[str, Any]
+    ) -> Optional[obs_trace.Trace]:
+        """A server-side trace seeded from the request header.
+
+        The client's ``trace`` context (``{"id", "client"}``) becomes
+        the trace's id and *origin*, so server-side slow-query log
+        entries correlate back to the client's request.  ``None`` when
+        the session has tracing off.
+        """
+        if not getattr(self.session, "tracing", False):
+            return None
+        ctx = header.get("trace")
+        if not isinstance(ctx, dict):
+            ctx = None
+        return obs_trace.Trace(
+            trace_id=(ctx or {}).get("id"), origin=ctx
+        )
 
     async def _process_worker_task(
         self,
@@ -407,7 +497,7 @@ class QueryServer:
         else:
             self.stats.execute_tasks += 1
         loop = asyncio.get_running_loop()
-        elapsed, fr = await loop.run_in_executor(
+        elapsed, fr, records = await loop.run_in_executor(
             self._pool, self._run_worker_task, kind, header, payload
         )
         meta = {
@@ -417,6 +507,11 @@ class QueryServer:
             "deduped": False,
             "elapsed": elapsed,
         }
+        if records and (header.get("trace") or header.get("spans")):
+            # Worker-host spans travel back in the part meta (only for
+            # traced requests); the coordinator merges them prefixed
+            # ``remote[i]:``.
+            meta["spans"] = records
         pool = pool_enc if header.get("pool") else None
         if pool is not None and fr.encoding == "arena":
             # Pooled part results are what lets a RemoteExecutor
@@ -440,8 +535,11 @@ class QueryServer:
 
     def _run_worker_task(
         self, kind: str, header: Dict[str, Any], payload: bytes
-    ) -> Tuple[float, object]:
+    ) -> Tuple[float, object, list]:
         """Thread-pool body of a ``shard``/``execute`` request."""
+        ctx = header.get("trace")
+        if not isinstance(ctx, dict):
+            ctx = None
         tree = protocol.unpack_blob(payload)
         if not isinstance(tree, FTree):
             raise ProtocolError(
@@ -465,7 +563,8 @@ class QueryServer:
                     f"0..{database.shard_count - 1}"
                 )
             fanout = str(header["fanout"])
-            elapsed, fr = worker_mod.timed_call(
+            elapsed, fr, records = worker_mod.traced_call(
+                ctx,
                 worker_mod.evaluate_shard,
                 database,
                 check,
@@ -476,7 +575,8 @@ class QueryServer:
                 encoding,
             )
         else:
-            elapsed, fr = worker_mod.timed_call(
+            elapsed, fr, records = worker_mod.traced_call(
+                ctx,
                 worker_mod.evaluate_full,
                 database,
                 check,
@@ -484,7 +584,7 @@ class QueryServer:
                 tree,
                 encoding,
             )
-        return elapsed, fr
+        return elapsed, fr, records
 
     async def _process_mutate(
         self,
@@ -534,34 +634,74 @@ class QueryServer:
 
     # -- introspection -----------------------------------------------------
 
-    def describe_stats(self, rid=None) -> Dict[str, Any]:
-        """The ``STATS`` response header: server, session, cache and
-        queue counters in one document."""
-        session = self.session
-        submitter = session._submitter
-        store = session.plan_store
-        document: Dict[str, Any] = {
-            "id": rid,
-            "server": {
-                **self.stats.as_dict(),
-                "max_pending": self.max_pending,
-                "draining": self._draining,
-                "uptime": (
-                    time.time() - self.started_at
-                    if self.started_at
-                    else 0.0
-                ),
-            },
-            "session": session.stats.as_dict(),
-            "caches": session.cache_counters(),
-            "submitter": (
-                submitter.counters() if submitter is not None else None
-            ),
-            "plan_store": (
-                store.counters() if store is not None else None
+    def _server_counters(self) -> Dict[str, Any]:
+        """The registry's ``server`` namespace: lifetime counters plus
+        configuration and liveness facts."""
+        return {
+            **self.stats.as_dict(),
+            "max_pending": self.max_pending,
+            "draining": self._draining,
+            "uptime": (
+                time.time() - self.started_at
+                if self.started_at
+                else 0.0
             ),
         }
-        return document
+
+    def describe_stats(self, rid=None) -> Dict[str, Any]:
+        """The ``STATS`` response header: one registry snapshot --
+        server, session, cache, queue, store, ivm and adapter counters
+        in one document (see :mod:`repro.obs.metrics`)."""
+        return {"id": rid, **self.registry.snapshot()}
+
+    async def _handle_metrics(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One-shot Prometheus scrape: minimal HTTP/1.0, text format.
+
+        Deliberately tiny -- no routing, no keep-alive: a scraper
+        sends one GET, gets the exposition, and the connection closes.
+        Anything that is not a GET for ``/metrics`` is a 404.
+        """
+        try:
+            request = await asyncio.wait_for(
+                reader.readline(), timeout=10
+            )
+            # Drain (and ignore) the header block.
+            while True:
+                line = await asyncio.wait_for(
+                    reader.readline(), timeout=10
+                )
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            parts = request.decode("latin-1").split()
+            if (
+                len(parts) >= 2
+                and parts[0] == "GET"
+                and parts[1].split("?")[0] in ("/metrics", "/")
+            ):
+                body = self.registry.prometheus_text().encode("utf-8")
+                head = (
+                    "HTTP/1.0 200 OK\r\n"
+                    "Content-Type: text/plain; version=0.0.4; "
+                    "charset=utf-8\r\n"
+                    f"Content-Length: {len(body)}\r\n\r\n"
+                ).encode("ascii")
+            else:
+                body = b"not found\n"
+                head = (
+                    "HTTP/1.0 404 Not Found\r\n"
+                    "Content-Type: text/plain\r\n"
+                    f"Content-Length: {len(body)}\r\n\r\n"
+                ).encode("ascii")
+            writer.write(head + body)
+            await writer.drain()
+        except Exception:
+            pass  # a broken scraper must never hurt the server
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
 
     # -- writing -----------------------------------------------------------
 

@@ -1,0 +1,90 @@
+"""Human-readable rendering of a registry snapshot.
+
+The CLI used to carry three hand-rolled copies of the counter lines
+(local ``repro batch``, ``repro batch --connect``, the serve banner's
+drain summary) that had already drifted once.  They now all consume
+the *same* structure -- the nested dict of
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot` (which is also
+exactly what a ``stats`` wire frame carries) -- through this one
+formatter, so local and remote output cannot diverge again.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+def result_cache_line(counters: Optional[Dict[str, Any]]) -> Optional[str]:
+    """The ``results:`` line of incremental-maintenance counters, so
+    CI smoke runs can assert warm behaviour across a mutation."""
+    if not counters:
+        return None
+    return (
+        f"results: {counters['hits']} warm hits, "
+        f"{counters['misses']} misses, "
+        f"{counters['delta_merges']} delta merges "
+        f"({counters['delta_rows']} rows), "
+        f"{counters['invalidations']} invalidated"
+    )
+
+
+def session_lines(
+    snapshot: Dict[str, Any],
+    total_queries: Optional[int] = None,
+    plan_store_path: Optional[str] = None,
+) -> List[str]:
+    """The counter summary of one registry snapshot, line by line.
+
+    ``snapshot`` is :meth:`~repro.obs.metrics.MetricsRegistry.
+    snapshot` output -- the local session's or a remote server's
+    ``stats`` frame, the keys are identical.  ``total_queries`` adds
+    the reuse-rate suffix to the plans line; ``plan_store_path`` the
+    entries-at-path suffix to the plan-store line.
+    """
+    lines: List[str] = []
+    sess = snapshot.get("session") or {}
+    caches = snapshot.get("caches") or {}
+
+    plans = (
+        f"plans: {sess.get('plan_misses', 0)} compiled, "
+        f"{sess.get('plan_hits', 0)} cache hits, "
+        f"{sess.get('plan_evictions', 0)} evicted, "
+        f"{sess.get('batch_deduped', 0)} batch-deduplicated"
+    )
+    if total_queries:
+        reused = sess.get("plan_hits", 0) + sess.get("batch_deduped", 0)
+        plans += f" (reuse rate {reused / max(total_queries, 1):.0%})"
+    lines.append(plans)
+    lines.append(
+        f"fallbacks to flat engine: {sess.get('fallbacks', 0)}; "
+        f"statistics built {sess.get('stats_builds', 0)}x; "
+        f"invalidations: {sess.get('invalidations', 0)}"
+    )
+    results = result_cache_line(caches.get("results"))
+    if results is not None:
+        lines.append(results)
+    store = snapshot.get("plan_store")
+    if store is not None:
+        line = (
+            f"plan store: {sess.get('store_hits', 0)} hits, "
+            f"{sess.get('store_misses', 0)} misses, "
+            f"{store['writes']} written, "
+            f"{store['stale_evictions']} stale-evicted"
+        )
+        if plan_store_path is not None:
+            line += f" ({store['size']} entries at {plan_store_path})"
+        lines.append(line)
+    srv = snapshot.get("server")
+    if srv is not None:
+        lines.append(
+            f"server: {srv['requests']} requests over "
+            f"{srv['connections']} connections, "
+            f"peak pending {srv['peak_pending']}"
+        )
+    slow = snapshot.get("slow_log")
+    if slow is not None:
+        lines.append(
+            f"slow queries: {slow['recorded']} over "
+            f"{slow['threshold']:g}s (of {slow['observed']} observed)"
+        )
+    return lines

@@ -1,0 +1,98 @@
+"""A structured JSON slow-query log.
+
+Queries whose serve-time latency crosses a configurable threshold are
+recorded as plain dict entries -- SQL, engine, elapsed seconds, trace
+id, the propagation *origin* (so a server entry names the client that
+sent the query), the span breakdown, and the chosen f-tree -- kept in
+a bounded in-memory ring and optionally appended as JSON lines to a
+file.  One entry answers the question the scattered counters never
+could: *why was this particular query slow?*
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+
+class SlowQueryLog:
+    """Threshold-filtered query log (``threshold`` in seconds).
+
+    ``threshold=0.0`` logs everything (useful in tests and when
+    hunting a rare slow query); ``path`` additionally appends each
+    entry as one JSON line.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 1.0,
+        path: Optional[str] = None,
+        capacity: int = 128,
+    ) -> None:
+        self.threshold = float(threshold)
+        self.path = path
+        self.entries: deque = deque(maxlen=capacity)
+        self.observed = 0
+        self.recorded = 0
+        self._lock = threading.Lock()
+
+    def observe(
+        self,
+        sql: str,
+        engine: str,
+        elapsed: float,
+        trace_id: Optional[str] = None,
+        origin: Optional[Dict[str, Any]] = None,
+        spans: Optional[List[Dict[str, Any]]] = None,
+        plan: Optional[str] = None,
+    ) -> Optional[Dict[str, Any]]:
+        """Consider one served query; the entry dict if it was slow."""
+        with self._lock:
+            self.observed += 1
+            if elapsed < self.threshold:
+                return None
+            entry: Dict[str, Any] = {
+                "ts": time.time(),
+                "sql": sql,
+                "engine": engine,
+                "elapsed": elapsed,
+                "trace_id": trace_id,
+                "origin": origin,
+                "spans": list(spans or ()),
+                "plan": plan,
+            }
+            self.recorded += 1
+            self.entries.append(entry)
+            path = self.path
+        if path is not None:
+            line = json.dumps(entry, sort_keys=True, default=str)
+            with self._lock:
+                with open(path, "a", encoding="utf-8") as handle:
+                    handle.write(line + "\n")
+        return entry
+
+    def note_fast(self) -> None:
+        """Count a below-threshold query the caller pre-filtered.
+
+        The session checks ``elapsed >= threshold`` *before* paying
+        for the SQL/plan text an entry needs; this keeps ``observed``
+        honest (every served query) on that cheap path.
+        """
+        with self._lock:
+            self.observed += 1
+
+    def tail(self, n: int = 10) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self.entries)[-n:]
+
+    def counters(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "threshold": self.threshold,
+                "observed": self.observed,
+                "recorded": self.recorded,
+                "retained": len(self.entries),
+            }

@@ -1,0 +1,184 @@
+"""Query lifecycle tracing: lightweight spans on the monotonic clock.
+
+A :class:`Trace` is one query's (or one batch wave's) collection of
+*span records* -- plain dicts ``{"name", "start", "secs", ...meta}``
+with ``start`` relative to the trace's own creation instant, so a
+trace serialises as-is into a slow-query log entry or a wire frame.
+
+Propagation is by :mod:`contextvars`: the instrumented call sites say
+``with trace.span("optimise"):`` via the module-level :func:`span`
+helper, which resolves the *active* trace at entry.  When no trace is
+active the helper returns a shared no-op context manager -- the whole
+feature costs one contextvar read on the off path, which is what lets
+tracing default to on (``bench_obs.py`` asserts <5% overhead).
+
+Context does not flow through pools or sockets by itself, so two
+explicit carriers exist:
+
+- **process/thread pools**: :func:`repro.exec.worker.traced_call`
+  seeds a fresh ``Trace`` from a ``trace.context()`` dict, runs the
+  task under it, and returns the records (picklable) for the caller
+  to :meth:`Trace.extend` back in, prefixed ``worker:``;
+- **the wire**: :class:`~repro.net.client.RemoteSession` attaches
+  ``context()`` plus its request id to the frame header; the server
+  seeds its trace from it (same trace id) and keeps the whole dict as
+  the trace's *origin*, so a slow-query log entry on the server names
+  the client's span id.
+"""
+
+from __future__ import annotations
+
+import uuid
+from contextlib import contextmanager
+from contextvars import ContextVar
+from time import perf_counter
+from typing import Any, Dict, Iterable, List, Optional
+
+_ACTIVE: ContextVar[Optional["Trace"]] = ContextVar(
+    "repro_obs_trace", default=None
+)
+
+
+def new_trace_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+class _NullSpan:
+    """The shared do-nothing span: the fast path when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    __slots__ = ("_trace", "_name", "_meta", "_start")
+
+    def __init__(self, trace: "Trace", name: str, meta: Dict[str, Any]):
+        self._trace = trace
+        self._name = name
+        self._meta = meta
+
+    def __enter__(self) -> "_Span":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        end = perf_counter()
+        self._trace.add(
+            self._name, self._start, end - self._start, **self._meta
+        )
+        return False
+
+
+class Trace:
+    """One correlated collection of span records.
+
+    ``trace_id`` correlates records across hosts (a server trace is
+    seeded with the client's id); ``origin`` is the raw propagation
+    context the trace was seeded from (e.g. the client's
+    ``{"id", "client"}`` header dict), kept verbatim for logs.
+    Records are bounded by ``max_records``; overflow only bumps
+    :attr:`dropped` so a pathological plan cannot balloon a log entry.
+    """
+
+    __slots__ = (
+        "trace_id", "origin", "records", "max_records", "dropped", "_t0"
+    )
+
+    def __init__(
+        self,
+        trace_id: Optional[str] = None,
+        origin: Optional[Dict[str, Any]] = None,
+        max_records: int = 512,
+    ) -> None:
+        self.trace_id = trace_id or new_trace_id()
+        self.origin = origin
+        self.records: List[Dict[str, Any]] = []
+        self.max_records = max_records
+        self.dropped = 0
+        self._t0 = perf_counter()
+
+    def add(
+        self, name: str, start: float, secs: float, **meta: Any
+    ) -> None:
+        """Record a completed span (``start`` on the perf_counter
+        clock; stored relative to the trace's creation)."""
+        if len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        record: Dict[str, Any] = {
+            "name": name,
+            "start": start - self._t0,
+            "secs": secs,
+        }
+        if meta:
+            record.update(meta)
+        self.records.append(record)
+
+    def span(self, name: str, **meta: Any) -> _Span:
+        return _Span(self, name, meta)
+
+    def extend(
+        self,
+        records: Iterable[Dict[str, Any]],
+        prefix: Optional[str] = None,
+    ) -> None:
+        """Absorb records produced under another trace (a pool worker,
+        a remote server), optionally prefixing their names."""
+        for record in records:
+            if len(self.records) >= self.max_records:
+                self.dropped += 1
+                continue
+            if prefix:
+                record = {**record, "name": prefix + str(record.get("name"))}
+            self.records.append(record)
+
+    def context(self) -> Dict[str, Any]:
+        """The propagation context to carry across a boundary."""
+        return {"id": self.trace_id}
+
+
+# -- module-level accessors (the instrumented call sites use these) ----
+
+
+def current() -> Optional[Trace]:
+    return _ACTIVE.get()
+
+
+def span(name: str, **meta: Any):
+    """A span on the active trace, or the shared no-op when none."""
+    trace = _ACTIVE.get()
+    if trace is None:
+        return NULL_SPAN
+    return trace.span(name, **meta)
+
+
+def context() -> Optional[Dict[str, Any]]:
+    """The active trace's propagation context (``None`` when idle)."""
+    trace = _ACTIVE.get()
+    return trace.context() if trace is not None else None
+
+
+@contextmanager
+def activate(trace: Optional[Trace]):
+    """Make ``trace`` the active trace for the dynamic extent.
+
+    ``activate(None)`` is a no-op context manager, so call sites can
+    write ``with activate(maybe_trace):`` without branching.
+    """
+    if trace is None:
+        yield None
+        return
+    token = _ACTIVE.set(trace)
+    try:
+        yield trace
+    finally:
+        _ACTIVE.reset(token)

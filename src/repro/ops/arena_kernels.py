@@ -1039,7 +1039,7 @@ class CompiledArenaPlan:
     transforms, no per-step key assertions, no object materialisation.
     """
 
-    __slots__ = ("kernels", "out_tree", "_drive")
+    __slots__ = ("kernels", "steps", "out_tree", "_drive")
 
     def __init__(self, plan) -> None:
         kernels = []
@@ -1053,6 +1053,9 @@ class CompiledArenaPlan:
                 )
             kernels.append(kernel)
         self.kernels = kernels
+        #: The source f-plan steps, index-aligned with :attr:`kernels`
+        #: (labels for :mod:`repro.obs.profile`).
+        self.steps = tuple(plan.steps)
         self.out_tree = plan.output_tree
         self._drive = _plan_driver(len(kernels))
 

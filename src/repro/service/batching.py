@@ -47,10 +47,14 @@ import threading
 from concurrent.futures import Future
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs import trace as obs_trace
 from repro.query.query import Query
 
-#: One queued submission: (query, engine, future).
-_Pending = Tuple[Query, str, Future]
+#: One queued submission: (query, engine, future, trace-or-None).
+#: The trace is the submitting request's (a server attaches the one
+#: seeded from the client's frame header) so its spans and identity
+#: follow the query through the coalescer.
+_Pending = Tuple[Query, str, Future, Optional[obs_trace.Trace]]
 
 
 class BatchSubmitter:
@@ -103,7 +107,12 @@ class BatchSubmitter:
 
     # -- submission --------------------------------------------------------
 
-    def submit(self, query: Query, engine: str = "auto") -> Future:
+    def submit(
+        self,
+        query: Query,
+        engine: str = "auto",
+        trace: Optional[obs_trace.Trace] = None,
+    ) -> Future:
         """Enqueue one query; the future resolves to a
         :class:`~repro.service.session.SessionResult`."""
         from repro.service.session import ENGINES
@@ -116,7 +125,7 @@ class BatchSubmitter:
         with self._wake:
             if self._closed:
                 raise RuntimeError("submitter is closed")
-            self._pending.append((query, engine, future))
+            self._pending.append((query, engine, future, trace))
             self.submitted += 1
             self._wake.notify()
         return future
@@ -182,15 +191,26 @@ class BatchSubmitter:
         return len(wave)
 
     def _run_group(self, engine: str, items: List[_Pending]) -> None:
-        queries = [query for query, _, _ in items]
+        queries = [query for query, _, _, _ in items]
+        # One trace per wave group: executor spans (compile, shard
+        # fan-out, union) cover the whole wave and are merged into each
+        # item's result next to its own request-scoped spans.
+        wave_trace = (
+            obs_trace.Trace()
+            if getattr(self.session, "tracing", False)
+            else None
+        )
         try:
-            results = self.session.run_batch(queries, engine=engine)
+            with obs_trace.activate(wave_trace):
+                results = self.session.run_batch(
+                    queries, engine=engine, observe=False
+                )
         except Exception:
             # A wave-wide failure names no culprit: retry one by one
             # so only the offending queries reject their futures.
             with self._lock:
                 self.isolated_errors += 1
-            for query, _, future in items:
+            for query, _, future, _ in items:
                 try:
                     future.set_result(
                         self.session.run(query, engine=engine)
@@ -198,7 +218,8 @@ class BatchSubmitter:
                 except Exception as exc:
                     future.set_exception(exc)
             return
-        for (_, _, future), result in zip(items, results):
+        for (query, _, future, trace), result in zip(items, results):
+            self.session._observe(result, trace=trace, wave=wave_trace)
             future.set_result(result)
 
     # -- lifecycle ---------------------------------------------------------

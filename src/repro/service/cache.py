@@ -68,6 +68,11 @@ class PlanCache:
             return evicted
         return None
 
+    def peek(self, key) -> Optional[object]:
+        """The cached value without touching recency *or* counters
+        (observability reads must not skew hit rates)."""
+        return self._entries.get(key)
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -50,6 +50,9 @@ if TYPE_CHECKING:  # import cycle guard: persist sits beside serving
     from repro.persist import PlanStore
 
 from repro import ops
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slowlog import SlowQueryLog
 from repro.core.factorised import FactorisedRelation
 from repro.core.ftree import FTree
 from repro.costs.cardinality import Statistics, estimate_representation_size
@@ -139,6 +142,10 @@ class SessionResult:
     raw: Optional[List[tuple]] = None
     raw_attributes: Optional[Tuple[str, ...]] = None
     plan: Optional[FPlan] = None
+    #: Span records of the trace that served this query (plain dicts,
+    #: see :mod:`repro.obs.trace`); ``None`` when tracing was off.
+    spans: Optional[List[dict]] = None
+    trace_id: Optional[str] = None
 
     @property
     def attributes(self) -> Tuple[str, ...]:
@@ -216,6 +223,15 @@ class QuerySession:
         kept across data-only mutations and caught up by factorising
         just the delta rows.  ``None`` = unbounded, ``0`` = disabled
         (every query re-evaluates, the pre-IVM behaviour).
+    tracing / slow_log / registry:
+        Observability (:mod:`repro.obs`).  ``tracing`` (default on,
+        near-free) records lifecycle spans per evaluation and attaches
+        them to each :class:`SessionResult`; ``slow_log`` is an
+        optional :class:`~repro.obs.slowlog.SlowQueryLog` receiving
+        structured entries for queries over its threshold;
+        ``registry`` injects a shared
+        :class:`~repro.obs.metrics.MetricsRegistry` (a fresh one is
+        created otherwise) -- see :meth:`snapshot`.
 
     >>> from repro.relational.database import Database
     >>> from repro.query.parser import parse_query
@@ -244,6 +260,9 @@ class QuerySession:
         plan_store: Optional["PlanStore"] = None,
         encoding: str = "object",
         result_cache_size: Optional[int] = 64,
+        tracing: bool = True,
+        slow_log: Optional[SlowQueryLog] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.database = database
         self.plan_search = plan_search
@@ -265,6 +284,43 @@ class QuerySession:
             ResultCache(result_cache_size)
             if result_cache_size != 0
             else None
+        )
+        #: Observability (see :mod:`repro.obs`): ``tracing`` gates the
+        #: per-query lifecycle spans (near-free, on by default --
+        #: ``bench_obs.py`` holds it to <5%); the registry unifies the
+        #: session's scattered counters behind one :meth:`snapshot`,
+        #: and servers graft their own collectors onto it.
+        self.tracing = tracing
+        self.slow_log = slow_log
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._query_seconds = self.registry.histogram("query_seconds")
+        self._slow_queries = self.registry.counter("slow_queries_total")
+        self._traces = self.registry.counter("traces_total")
+        self.registry.register("session", self.stats.as_dict)
+        self.registry.register("caches", self.cache_counters)
+        self.registry.register(
+            "submitter",
+            lambda: (
+                self._submitter.counters()
+                if self._submitter is not None
+                else None
+            ),
+        )
+        self.registry.register(
+            "plan_store",
+            lambda: (
+                self.plan_store.counters()
+                if self.plan_store is not None
+                else None
+            ),
+        )
+        self.registry.register(
+            "slow_log",
+            lambda: (
+                self.slow_log.counters()
+                if self.slow_log is not None
+                else None
+            ),
         )
         self._bind()
 
@@ -375,6 +431,14 @@ class QuerySession:
             "adapter": ADAPTER.snapshot(),
         }
 
+    def snapshot(self) -> Dict:
+        """The unified observability snapshot (:mod:`repro.obs`):
+        instruments plus every registered collector namespace --
+        session stats, cache/ivm/adapter counters, submitter, plan
+        store, slow log, and (when a server grafted itself on) the
+        server counters."""
+        return self.registry.snapshot()
+
     def close(self) -> None:
         if self._submitter is not None:
             self._submitter.close()
@@ -403,25 +467,26 @@ class QuerySession:
         a (store) hit, so callers skip the optimiser exactly as for an
         in-memory hit.
         """
-        key = query.canonical_key()
-        plan = self._plans.get(key)
-        if plan is not None:
-            plan.hits += 1
-            self.stats.plan_hits += 1
-            return plan
-        if self.plan_store is not None:
-            tree = self.plan_store.get(query, self.database)
-            if tree is not None:
-                plan = CachedPlan(key=key, tree=tree)
-                if self._plans.put(key, plan) is not None:
-                    self.stats.plan_evictions += 1
+        with obs_trace.span("plan-cache"):
+            key = query.canonical_key()
+            plan = self._plans.get(key)
+            if plan is not None:
                 plan.hits += 1
                 self.stats.plan_hits += 1
-                self.stats.store_hits += 1
                 return plan
-            self.stats.store_misses += 1
-        self.stats.plan_misses += 1
-        return None
+            if self.plan_store is not None:
+                tree = self.plan_store.get(query, self.database)
+                if tree is not None:
+                    plan = CachedPlan(key=key, tree=tree)
+                    if self._plans.put(key, plan) is not None:
+                        self.stats.plan_evictions += 1
+                    plan.hits += 1
+                    self.stats.plan_hits += 1
+                    self.stats.store_hits += 1
+                    return plan
+                self.stats.store_misses += 1
+            self.stats.plan_misses += 1
+            return None
 
     def store_plan(self, query: Query, tree: FTree) -> CachedPlan:
         """Executor hook: cache a freshly compiled f-tree.
@@ -449,7 +514,9 @@ class QuerySession:
         if cached is not None:
             return cached, True
         query.validate_against(self.database.schema())
-        return self.store_plan(query, self._fdb.optimal_tree(query)), False
+        with obs_trace.span("optimise"):
+            tree = self._fdb.optimal_tree(query)
+        return self.store_plan(query, tree), False
 
     def _would_explode(self, plan: CachedPlan) -> bool:
         if self.fallback_budget is None:
@@ -468,7 +535,14 @@ class QuerySession:
             raise ValueError(f"unknown engine {engine!r}; pick {ENGINES}")
         self._refresh()
         self.stats.queries += 1
-        return self.executor.execute(self, [query], engine)[0]
+        trace = self._begin_trace()
+        with obs_trace.activate(trace):
+            result = self.executor.execute(self, [query], engine)[0]
+        self._observe(
+            result,
+            trace=trace if trace is not None else obs_trace.current(),
+        )
+        return result
 
     def submitter(self, max_wave: Optional[int] = None):
         """The session's lazily created :class:`~repro.service.
@@ -486,7 +560,7 @@ class QuerySession:
                 self._submitter = BatchSubmitter(self, max_wave=max_wave)
             return self._submitter
 
-    def submit(self, query: Query, engine: str = "auto"):
+    def submit(self, query: Query, engine: str = "auto", trace=None):
         """Overlapping submission: enqueue one query, get a
         :class:`concurrent.futures.Future` of its
         :class:`SessionResult`.
@@ -495,11 +569,17 @@ class QuerySession:
         ``asyncio.wrap_future``) are coalesced into shared batch waves
         -- deduplicated and fanned out together -- by the session's
         :meth:`submitter`; see :mod:`repro.service.batching`.
+        ``trace`` optionally carries the submitting request's
+        :class:`~repro.obs.trace.Trace` through the coalescer so its
+        spans (e.g. the server-side parse) land on the served result.
         """
-        return self.submitter().submit(query, engine)
+        return self.submitter().submit(query, engine, trace=trace)
 
     def run_batch(
-        self, queries: Sequence[Query], engine: str = "auto"
+        self,
+        queries: Sequence[Query],
+        engine: str = "auto",
+        observe: bool = True,
     ) -> List[SessionResult]:
         """Evaluate a batch, one evaluation per canonical query.
 
@@ -530,7 +610,9 @@ class QuerySession:
                 unique.append(query)
                 slots.append((key, False))
         self.stats.queries += len(unique)
-        evaluated = self.executor.execute(self, unique, engine)
+        trace = self._begin_trace() if observe else None
+        with obs_trace.activate(trace):
+            evaluated = self.executor.execute(self, unique, engine)
         out: List[SessionResult] = []
         for query, (key, deduped) in zip(queries, slots):
             result = evaluated[position[key]]
@@ -540,6 +622,12 @@ class QuerySession:
                 )
             else:
                 out.append(result)
+        if observe:
+            # The batch shares one trace; ``observe=False`` callers
+            # (the BatchSubmitter) observe per item themselves.
+            active = trace if trace is not None else obs_trace.current()
+            for result in out:
+                self._observe(result, trace=active)
         return out
 
     def run_on(
@@ -555,43 +643,58 @@ class QuerySession:
         """
         self._refresh()
         self.stats.queries += 1
-        start = time.perf_counter()
-        current = fr
-        for cond in query.constants:
-            if cond.attribute not in current.tree.attributes():
-                raise QueryError(
-                    f"unknown attribute {cond.attribute!r}"
-                )
-            current = ops.select_constant(current, cond)
+        trace = self._begin_trace()
+        with obs_trace.activate(trace):
+            start = time.perf_counter()
+            current = fr
+            for cond in query.constants:
+                if cond.attribute not in current.tree.attributes():
+                    raise QueryError(
+                        f"unknown attribute {cond.attribute!r}"
+                    )
+                with obs_trace.span("select"):
+                    current = ops.select_constant(current, cond)
+                if self.check_invariants:
+                    current.validate()
+            key = (
+                current.tree.key(),
+                equality_partition(query.equalities),
+            )
+            with obs_trace.span("fplan-cache"):
+                plan = self._fplans.get(key)
+            if plan is not None:
+                self.stats.fplan_hits += 1
+                hit = True
+            else:
+                self.stats.fplan_misses += 1
+                hit = False
+                pairs = [(eq.left, eq.right) for eq in query.equalities]
+                with obs_trace.span("fplan-optimise"):
+                    plan = self._fdb.plan_for(current.tree, pairs)
+                if self._fplans.put(key, plan) is not None:
+                    self.stats.fplan_evictions += 1
+            with obs_trace.span("fplan-execute", steps=len(plan.steps)):
+                current = plan.execute(current)
             if self.check_invariants:
                 current.validate()
-        key = (current.tree.key(), equality_partition(query.equalities))
-        plan = self._fplans.get(key)
-        if plan is not None:
-            self.stats.fplan_hits += 1
-            hit = True
-        else:
-            self.stats.fplan_misses += 1
-            hit = False
-            pairs = [(eq.left, eq.right) for eq in query.equalities]
-            plan = self._fdb.plan_for(current.tree, pairs)
-            if self._fplans.put(key, plan) is not None:
-                self.stats.fplan_evictions += 1
-        current = plan.execute(current)
-        if self.check_invariants:
-            current.validate()
-        if query.projection is not None:
-            current = ops.project(current, query.projection)
-            if self.check_invariants:
-                current.validate()
-        return SessionResult(
-            query=query,
-            engine="fdb",
-            cached=hit,
-            elapsed=time.perf_counter() - start,
-            factorised=current,
-            plan=plan,
+            if query.projection is not None:
+                with obs_trace.span("project"):
+                    current = ops.project(current, query.projection)
+                if self.check_invariants:
+                    current.validate()
+            result = SessionResult(
+                query=query,
+                engine="fdb",
+                cached=hit,
+                elapsed=time.perf_counter() - start,
+                factorised=current,
+                plan=plan,
+            )
+        self._observe(
+            result,
+            trace=trace if trace is not None else obs_trace.current(),
         )
+        return result
 
     # -- executor hooks ----------------------------------------------------
     #
@@ -609,7 +712,8 @@ class QuerySession:
         plan, hit = self.compile(query)
         if engine == "auto" and self._would_explode(plan):
             return self._fallback_result(query, start, cached=hit)
-        served = self._serve_cached(query)
+        with obs_trace.span("result-cache"):
+            served = self._serve_cached(query)
         if served is not None:
             return SessionResult(
                 query=query,
@@ -618,10 +722,12 @@ class QuerySession:
                 elapsed=time.perf_counter() - start,
                 factorised=served,
             )
-        fr = self._fdb.factorise_query(query, tree=plan.tree)
+        with obs_trace.span("factorise"):
+            fr = self._fdb.factorise_query(query, tree=plan.tree)
         self._cache_result(query, plan.tree, fr)
         if query.projection is not None:
-            fr = ops.project(fr, query.projection)
+            with obs_trace.span("project"):
+                fr = ops.project(fr, query.projection)
             if self.check_invariants:
                 fr.validate()
         return SessionResult(
@@ -731,6 +837,75 @@ class QuerySession:
             elapsed=elapsed,
             factorised=factorised,
         )
+
+    # -- observability -----------------------------------------------------
+
+    def _begin_trace(self) -> Optional[obs_trace.Trace]:
+        """A fresh :class:`~repro.obs.trace.Trace` for one top-level
+        evaluation -- or ``None`` when tracing is off *or* a trace is
+        already active (a server request or batch wave owns it)."""
+        if not self.tracing or obs_trace.current() is not None:
+            return None
+        self._traces.inc()
+        return obs_trace.Trace()
+
+    def _observe(
+        self,
+        result: SessionResult,
+        trace: Optional[obs_trace.Trace] = None,
+        wave: Optional[obs_trace.Trace] = None,
+    ) -> None:
+        """Account one served result: latency histogram, span
+        attachment, slow-query log.
+
+        ``trace`` is the per-request trace (request-scoped spans plus
+        the identity used for correlation); ``wave`` the shared batch-
+        wave trace a :class:`~repro.service.batching.BatchSubmitter`
+        evaluated the result under (its spans cover every query of the
+        wave and are appended after the request's own).
+        """
+        records: List[dict] = []
+        trace_id = None
+        origin = None
+        if trace is not None:
+            trace_id = trace.trace_id
+            origin = trace.origin
+            records.extend(trace.records)
+        if wave is not None and wave is not trace:
+            if trace_id is None:
+                trace_id = wave.trace_id
+            records.extend(wave.records)
+        if records:
+            result.spans = records
+        if trace_id is not None:
+            result.trace_id = trace_id
+        self._query_seconds.observe(result.elapsed)
+        log = self.slow_log
+        if log is None:
+            return
+        if result.elapsed < log.threshold:
+            log.note_fast()
+        else:
+            self._slow_queries.inc()
+            log.observe(
+                sql=str(result.query),
+                engine=result.engine,
+                elapsed=result.elapsed,
+                trace_id=trace_id,
+                origin=origin,
+                spans=records,
+                plan=self._plan_text(result),
+            )
+
+    def _plan_text(self, result: SessionResult) -> Optional[str]:
+        """The chosen plan of a logged slow query, compactly: the
+        f-plan when the result carries one, else the cached f-tree."""
+        if result.plan is not None:
+            return str(result.plan)
+        entry = self._plans.peek(result.query.canonical_key())
+        if entry is None:
+            return None
+        return entry.tree.pretty()
 
     # -- helpers -----------------------------------------------------------
 

@@ -46,6 +46,12 @@ def served():
     session = QuerySession(_database(), encoding="arena")
     with ServerThread(session) as server:
         yield server
+    # Gauge hygiene: after the drain every admission and connection
+    # must have retired -- exceptional paths included -- or the
+    # pending/active gauges would drift and poison later snapshots.
+    stats = server.server.stats
+    assert stats.active_connections == 0
+    assert stats.pending == 0
 
 
 # -- protocol framing --------------------------------------------------------
@@ -254,6 +260,49 @@ def test_stats_document_shape(served):
         assert stats["server"]["max_pending"] > 0
         assert stats["session"]["queries"] >= 1
         assert "plans" in stats["caches"]
+        # The stats frame is the unified registry snapshot: the
+        # instruments and the adapter tallies ride along.
+        assert "metrics" in stats
+        assert stats["metrics"]["query_seconds"]["count"] >= 1
+        assert "adapter" in stats["caches"]
+
+
+def test_metrics_frame_returns_snapshot_and_prometheus_text(served):
+    with RemoteSession(served.address) as client:
+        client.run("SELECT a00 FROM R0")
+        snapshot = client.metrics()
+        assert snapshot["metrics"]["query_seconds"]["count"] >= 1
+        assert snapshot["session"]["queries"] >= 1
+        text = client.metrics_text()
+        assert "# TYPE repro_query_seconds histogram" in text
+        assert "repro_server_requests" in text
+        assert "repro_session_queries" in text
+
+
+def test_prometheus_http_endpoint_scrapes():
+    session = QuerySession(_database(91), encoding="arena")
+    with ServerThread(session, metrics_port=0) as server:
+        with RemoteSession(server.address) as client:
+            client.run("SELECT a00 FROM R0")
+        host, port = server.server.metrics_address
+        import urllib.request
+
+        with urllib.request.urlopen(
+            f"http://{host}:{port}/metrics", timeout=10
+        ) as response:
+            assert response.status == 200
+            assert "text/plain" in response.headers["Content-Type"]
+            body = response.read().decode("utf-8")
+        assert "repro_query_seconds_bucket" in body
+        assert "repro_server_requests" in body
+        assert "repro_caches_adapter_to_arena_calls" in body
+        # Anything else is a 404, and the server survives it.
+        import urllib.error
+
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(
+                f"http://{host}:{port}/nope", timeout=10
+            )
 
 
 def test_graceful_drain_completes_inflight_work():
