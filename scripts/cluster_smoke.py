@@ -1,0 +1,194 @@
+"""Cluster smoke: real worker processes, one SIGKILLed under load.
+
+CI's end-to-end check on the cluster tier, with nothing in-process:
+three ``repro serve --own-shards`` workers are real subprocesses over
+a saved sharded database, the coordinator routes through a
+:class:`ReplicatedExecutor` over their addresses, and the busiest
+primary worker is SIGKILLed while the coordinator still holds live
+connections to it -- so the loss is discovered *mid-batch*, on
+in-flight shard tasks, exactly like a crashed machine.
+
+The script exits non-zero on any deviation and prints one greppable
+summary line::
+
+    cluster-smoke: answers=unchanged retries=N degrade_to_local=N ...
+
+CI greps that line for ``retries=[1-9]`` (the failover actually ran),
+``degrade_to_local=0`` (no silent coordinator-side evaluation) and
+``answers=unchanged`` (byte-identical to local evaluation).
+
+Usage: ``PYTHONPATH=src python scripts/cluster_smoke.py [workdir]``
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"),
+)
+
+from repro import persist
+from repro.net import ClusterMap, ReplicatedExecutor
+from repro.service import QuerySession
+from repro.storage import ShardedDatabase
+from repro.workloads import grocery_database, random_spj_queries
+
+WORKERS = 3
+SHARDS = 4
+REPLICATION = 2
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def wait_for(path: str, needle: str, timeout: float = 20.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if os.path.exists(path) and needle in open(path).read():
+            return
+        time.sleep(0.2)
+    raise SystemExit(
+        f"cluster-smoke: {needle!r} never appeared in {path}:\n"
+        + (open(path).read() if os.path.exists(path) else "<missing>")
+    )
+
+
+def main() -> int:
+    workdir = sys.argv[1] if len(sys.argv) > 1 else "cluster-smoke"
+    os.makedirs(workdir, exist_ok=True)
+    db = grocery_database()
+    sharded = ShardedDatabase.from_database(db, shards=SHARDS)
+    saved = os.path.join(workdir, "saved.fdbp")
+    persist.save(sharded, saved)
+
+    ports = [free_port() for _ in range(WORKERS)]
+    keys = [f"127.0.0.1:{port}" for port in ports]
+    ring = ClusterMap(keys, SHARDS, REPLICATION)
+    assignments = ring.assignments()
+
+    src = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "src"
+    )
+    env = {
+        **os.environ,
+        "PYTHONPATH": os.pathsep.join(
+            p
+            for p in (
+                os.path.abspath(src),
+                os.environ.get("PYTHONPATH", ""),
+            )
+            if p
+        ),
+    }
+    procs = []
+    try:
+        for key, port in zip(keys, ports):
+            out = os.path.join(workdir, f"worker-{port}.out")
+            procs.append(
+                subprocess.Popen(
+                    [
+                        sys.executable, "-m", "repro", "serve",
+                        "--db", saved,
+                        "--port", str(port),
+                        "--plan-store", "",
+                        "--own-shards",
+                        ",".join(str(s) for s in assignments[key]),
+                    ],
+                    stdout=open(out, "w"),
+                    stderr=subprocess.STDOUT,
+                    env=env,
+                )
+            )
+        for port in ports:
+            wait_for(
+                os.path.join(workdir, f"worker-{port}.out"), "serving"
+            )
+
+        queries = random_spj_queries(
+            db, 24, seed=191, max_relations=2, max_equalities=2
+        )
+        with QuerySession(sharded) as plain:
+            expected = [plain.run(q).rows() for q in queries]
+
+        executor = ReplicatedExecutor(
+            keys,
+            replication_factor=REPLICATION,
+            timeout=60,
+            backoff_base=0.01,
+            quarantine_seconds=60,
+            seed=191,
+        )
+        primaries = [
+            ring.replicas_for(s)[0] for s in range(SHARDS)
+        ]
+        victim = keys.index(max(keys, key=primaries.count))
+        mismatches = 0
+        with QuerySession(sharded, executor=executor) as coordinator:
+            healthy = coordinator.run_batch(queries[:8])
+            for result, rows in zip(healthy, expected[:8]):
+                mismatches += result.rows() != rows
+            if executor.remote_tasks == 0:
+                raise SystemExit(
+                    "cluster-smoke: healthy batch never went remote"
+                )
+            # SIGKILL the busiest primary.  The coordinator still
+            # holds live connections to it, so the loss surfaces on
+            # in-flight shard tasks of the next batch -- mid-batch,
+            # like a crashed machine, not a clean goodbye.
+            procs[victim].send_signal(signal.SIGKILL)
+            procs[victim].wait(timeout=20)
+            wounded = coordinator.run_batch(queries[8:])
+            for result, rows in zip(wounded, expected[8:]):
+                mismatches += result.rows() != rows
+        answers = "unchanged" if mismatches == 0 else (
+            f"MISMATCH({mismatches})"
+        )
+        print(
+            f"cluster-smoke: answers={answers} "
+            f"retries={executor.retries} "
+            f"degrade_to_local={executor.degrade_to_local} "
+            f"quarantines={executor.quarantines} "
+            f"remote_tasks={executor.remote_tasks} "
+            f"workers={WORKERS} replication_factor={REPLICATION} "
+            f"shards={SHARDS} victim={keys[victim]}",
+            flush=True,
+        )
+        if mismatches:
+            return 1
+        if executor.retries == 0:
+            print(
+                "cluster-smoke: FAIL: the kill never forced a retry",
+                flush=True,
+            )
+            return 1
+        if executor.degrade_to_local != 0:
+            print(
+                "cluster-smoke: FAIL: a shard degraded to local "
+                "evaluation despite a live replica",
+                flush=True,
+            )
+            return 1
+        return 0
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        for proc in procs:
+            try:
+                proc.wait(timeout=20)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -256,6 +256,27 @@ def cmd_batch(args: argparse.Namespace) -> int:
         if args.workers > 1
         else SerialExecutor()
     )
+    if args.cluster:
+        from repro.net.cluster import ReplicatedExecutor
+
+        cluster_workers = [
+            part.strip()
+            for part in args.cluster.split(",")
+            if part.strip()
+        ]
+        if not cluster_workers:
+            raise SystemExit(
+                "--cluster needs at least one host:port worker"
+            )
+        if args.replication_factor < 1:
+            raise SystemExit(
+                f"--replication-factor must be >= 1, "
+                f"got {args.replication_factor}"
+            )
+        executor = ReplicatedExecutor(
+            cluster_workers,
+            replication_factor=args.replication_factor,
+        )
     plan_store = (
         persist.PlanStore(args.plan_store) if args.plan_store else None
     )
@@ -311,6 +332,16 @@ def cmd_batch(args: argparse.Namespace) -> int:
         ),
     ):
         print(line)
+    if args.cluster:
+        c = executor.counters()
+        print(
+            f"cluster: {c['healthy_workers']}/{c['workers']} workers "
+            f"healthy (R={c['replication_factor']}), "
+            f"remote_tasks={c['remote_tasks']} "
+            f"retries={c['retries']} "
+            f"quarantines={c['quarantines']} "
+            f"degrade_to_local={c['degrade_to_local']}"
+        )
     return 0
 
 
@@ -318,10 +349,26 @@ def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import signal
 
+    from repro.net.protocol import ProtocolError
     from repro.net.server import QueryServer
 
     if args.shards < 1:
         raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    owned_shards = None
+    if args.own_shards:
+        try:
+            owned_shards = sorted(
+                {
+                    int(part)
+                    for part in args.own_shards.split(",")
+                    if part.strip()
+                }
+            )
+        except ValueError:
+            raise SystemExit(
+                f"--own-shards expects comma-separated shard indices, "
+                f"got {args.own_shards!r}"
+            )
     if args.workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
     db = _load_database_arg(args)
@@ -355,18 +402,27 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
 
     async def _main() -> int:
-        server = QueryServer(
-            session,
-            host=args.host,
-            port=args.port,
-            max_pending=args.max_pending,
-            metrics_port=args.metrics_port,
-        )
+        try:
+            server = QueryServer(
+                session,
+                host=args.host,
+                port=args.port,
+                max_pending=args.max_pending,
+                metrics_port=args.metrics_port,
+                owned_shards=owned_shards,
+            )
+        except ProtocolError as exc:
+            raise SystemExit(f"--own-shards: {exc}")
         await server.start()
         host, port = server.address
         shape = []
         if isinstance(db, ShardedDatabase):
             shape.append(f"{db.shard_count} shards ({db.strategy})")
+        if owned_shards is not None:
+            shape.append(
+                "owns shards "
+                + ",".join(str(i) for i in owned_shards)
+            )
         shape.append(session.executor.describe())
         shape.append(f"{args.encoding} encoding")
         if plan_store is not None:
@@ -733,6 +789,22 @@ def build_parser() -> argparse.ArgumentParser:
         "are shared across sessions and processes",
     )
     b.add_argument(
+        "--cluster",
+        default=None,
+        metavar="HOST:PORT,...",
+        help="route (query, shard) tasks to these shard workers with "
+        "the replicated executor (retry on the next replica, "
+        "quarantine, local degrade only when all replicas are down); "
+        "workers must serve the same --db",
+    )
+    b.add_argument(
+        "--replication-factor",
+        type=int,
+        default=2,
+        help="replicas per shard on the --cluster hash ring "
+        "(default 2, clamped to the worker count)",
+    )
+    b.add_argument(
         "-v",
         "--verbose",
         action="store_true",
@@ -833,6 +905,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="append slow-query entries as JSON lines to this file "
         "(in-memory ring buffer only, when omitted)",
+    )
+    srv.add_argument(
+        "--own-shards",
+        default=None,
+        metavar="I,J,...",
+        help="answer shard requests only for these shard indices "
+        "(the cluster ownership contract; other shards are refused "
+        "with OwnershipError so a coordinator retries a replica)",
     )
     srv.set_defaults(func=cmd_serve)
 

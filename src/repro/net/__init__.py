@@ -13,10 +13,17 @@ Turns the library into a service, the fourth layer of the stack
   :class:`~repro.service.session.QuerySession`;
 - :mod:`repro.net.remote` -- :class:`~repro.net.remote.RemoteExecutor`,
   fanning per-(query, shard) evaluation out over multiple hosts and
-  degrading to local execution when a worker is lost.
+  degrading to local execution when a worker is lost;
+- :mod:`repro.net.cluster` -- the robustness tier on top:
+  :class:`~repro.net.cluster.ClusterMap` (consistent-hash replicated
+  shard ownership) and :class:`~repro.net.cluster.ReplicatedExecutor`
+  (retry on the next replica with timeouts and jittered backoff,
+  quarantine with half-open probes, loud local degrade only when all
+  replicas of a shard are down).
 """
 
 from repro.net.client import NetError, RemoteSession, parse_address
+from repro.net.cluster import ClusterMap, ReplicatedExecutor
 from repro.net.protocol import (
     DEFAULT_MAX_FRAME,
     DEFAULT_PORT,
@@ -24,18 +31,26 @@ from repro.net.protocol import (
     ProtocolError,
 )
 from repro.net.remote import RemoteExecutor
-from repro.net.server import DEFAULT_HOST, QueryServer, ServerThread
+from repro.net.server import (
+    DEFAULT_HOST,
+    OwnershipError,
+    QueryServer,
+    ServerThread,
+)
 
 __all__ = [
+    "ClusterMap",
     "DEFAULT_HOST",
     "DEFAULT_MAX_FRAME",
     "DEFAULT_PORT",
     "NetError",
+    "OwnershipError",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "QueryServer",
     "RemoteExecutor",
     "RemoteSession",
+    "ReplicatedExecutor",
     "ServerThread",
     "parse_address",
 ]

@@ -25,6 +25,7 @@ from __future__ import annotations
 import itertools
 import socket
 import threading
+import warnings
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as _FutureTimeout
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
@@ -94,6 +95,11 @@ class RemoteSession:
         incrementally, and all results on this connection share the
         receiver pool -- so shard parts recombine by id in
         ``ops.union``.  Set false to force plain self-contained blobs.
+    reader_join_timeout:
+        Seconds :meth:`close` waits for the reader thread to exit.  A
+        reader still alive afterwards marks the session *defunct*
+        (:attr:`defunct`), warns, and fails pending futures -- it is
+        never silently leaked.
     """
 
     def __init__(
@@ -103,10 +109,12 @@ class RemoteSession:
         connect_timeout: float = 10.0,
         max_frame: int = DEFAULT_MAX_FRAME,
         wire_pool: bool = True,
+        reader_join_timeout: float = 10.0,
     ) -> None:
         self.address = parse_address(address)
         self.timeout = timeout
         self.max_frame = max_frame
+        self.reader_join_timeout = reader_join_timeout
         self._ids = itertools.count(1)
         self._send_lock = threading.Lock()
         self._state_lock = threading.Lock()
@@ -114,6 +122,7 @@ class RemoteSession:
         #: to decode the response payload.
         self._pending: Dict[int, Tuple[Future, Tuple]] = {}
         self._closed = False
+        self._defunct = False
         try:
             self._sock = socket.create_connection(
                 self.address, timeout=connect_timeout
@@ -315,11 +324,47 @@ class RemoteSession:
         )
         return future
 
+    # -- shard ownership (ClusterMap rebalancing) --------------------------
+
+    def own_shards(self, shards: Sequence[int]) -> Dict[str, Any]:
+        """Tell the worker to start answering for ``shards``.
+
+        Returns the ownership receipt (``owned``: the full post-change
+        owned list, ``shard_count``) and mirrors it into
+        :attr:`server_info`, so coordinator-side routing sees the new
+        contract without a reconnect.
+        """
+        return self._change_ownership("own", shards)
+
+    def disown_shards(self, shards: Sequence[int]) -> Dict[str, Any]:
+        """Tell the worker to stop answering for ``shards``."""
+        return self._change_ownership("disown", shards)
+
+    def _change_ownership(
+        self, kind: str, shards: Sequence[int]
+    ) -> Dict[str, Any]:
+        rid, future = self._request(
+            kind,
+            {"shards": [int(s) for s in shards]},
+            context=("own",),
+        )
+        receipt = self._await(rid, future)
+        self.server_info["owned_shards"] = list(
+            receipt.get("owned") or ()
+        )
+        return receipt
+
     # -- lifecycle ---------------------------------------------------------
 
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def defunct(self) -> bool:
+        """True when close() could not join the reader thread: the
+        session leaked a thread and must not be reused or retried."""
+        return self._defunct
 
     def close(self) -> None:
         """Close the connection; pending futures fail with
@@ -334,7 +379,29 @@ class RemoteSession:
             pass
         self._sock.close()
         if threading.current_thread() is not self._reader:
-            self._reader.join(timeout=10)
+            self._reader.join(timeout=self.reader_join_timeout)
+            if self._reader.is_alive():
+                # The reader is wedged (a hung recv despite the
+                # shutdown above, or a stuck decode).  Joining forever
+                # would hang the caller; returning silently would leak
+                # the thread *and* strand every pending future.  Say
+                # so, mark the session defunct, and fail the futures.
+                self._defunct = True
+                warnings.warn(
+                    f"repro.net reader thread for {self.address[0]}:"
+                    f"{self.address[1]} did not exit within "
+                    f"{self.reader_join_timeout}s; session marked "
+                    f"defunct and pending requests failed",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self._fail_pending(
+                    NetError(
+                        "session closed with a stuck reader thread; "
+                        "pending requests abandoned"
+                    )
+                )
+                return
         self._fail_pending(NetError("session closed"))
 
     def __enter__(self) -> "RemoteSession":
@@ -503,6 +570,8 @@ class RemoteSession:
         if kind == "metrics-result" and shape == "metrics":
             return header, payload.decode("utf-8")
         if kind == "mutate-result" and shape == "mutate":
+            return header
+        if kind in ("own-result", "disown-result") and shape == "own":
             return header
         raise NetError(
             f"unexpected {kind!r} response for a {shape!r} request"

@@ -93,6 +93,8 @@ REQUEST_KINDS = (
     "stats",
     "metrics",
     "mutate",
+    "own",
+    "disown",
 )
 
 #: Messages a server may send.
@@ -103,6 +105,8 @@ RESPONSE_KINDS = (
     "stats-result",
     "metrics-result",
     "mutate-result",
+    "own-result",
+    "disown-result",
     "error",
 )
 

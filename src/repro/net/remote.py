@@ -31,6 +31,14 @@ its work is **re-executed locally** on the coordinator's own copy of
 the database -- the answer is identical, only slower -- and counted in
 :attr:`RemoteExecutor.local_fallbacks`.  A fleet of zero live workers
 therefore degrades to serial local execution, never to an error.
+Connection loss is permanent until :meth:`RemoteExecutor.invalidate`;
+a *version mismatch* is re-probed at every batch, because a worker
+that reloads the right snapshot comes back on its own.
+
+For replica-aware routing with retry/backoff/quarantine semantics --
+the cluster tier proper -- see
+:class:`repro.net.cluster.ReplicatedExecutor`, which builds on this
+executor.
 """
 
 from __future__ import annotations
@@ -80,7 +88,11 @@ class RemoteExecutor(Executor):
         self._sessions: List[Optional[RemoteSession]] = [None] * len(
             self.addresses
         )
-        self._lost = [False] * len(self.addresses)
+        #: Per-worker loss state: False (live), "conn" (unreachable --
+        #: permanent until invalidate()) or "version" (serving another
+        #: database snapshot -- re-probed at the next batch, because a
+        #: worker that reloads comes back on its own).
+        self._lost: List[object] = [False] * len(self.addresses)
         #: Monotone counters.
         self.remote_tasks = 0
         self.local_fallbacks = 0
@@ -98,14 +110,28 @@ class RemoteExecutor(Executor):
             f"{self.live_workers} live)"
         )
 
-    def _mark_lost(self, index: int) -> None:
+    def _mark_lost(self, index: int, reason: str = "conn") -> None:
         if not self._lost[index]:
-            self._lost[index] = True
+            self._lost[index] = reason
             self.lost_workers += 1
         session = self._sessions[index]
         self._sessions[index] = None
         if session is not None:
             session.close()
+
+    def _revive_version_mismatches(self) -> None:
+        """Give version-mismatched workers a fresh chance this batch.
+
+        A mismatch is transient by nature -- the worker may reload the
+        right snapshot, or this coordinator may catch up to the
+        worker's -- so pinning it dead for the executor's lifetime
+        turned one stale hello into permanent local fallbacks.  The
+        reconnect in :meth:`_session_for` re-checks the hello; a still-
+        mismatched worker is simply marked again.
+        """
+        for index, reason in enumerate(self._lost):
+            if reason == "version":
+                self._lost[index] = False
 
     def _session_for(self, index: int, db_version: int):
         """A live, version-compatible connection to worker ``index``,
@@ -126,8 +152,10 @@ class RemoteExecutor(Executor):
             self._sessions[index] = session
         if session.server_info.get("db_version") != db_version:
             # The worker answers for a different snapshot; using it
-            # would silently mix database versions.  Treat as lost.
-            self._mark_lost(index)
+            # would silently mix database versions.  Skip it for this
+            # batch (re-probed next batch -- see
+            # _revive_version_mismatches).
+            self._mark_lost(index, "version")
             return None
         return session
 
@@ -164,6 +192,7 @@ class RemoteExecutor(Executor):
             ]
         database = session.database
         version = database.version
+        self._revive_version_mismatches()
         sharded = (
             isinstance(database, ShardedDatabase)
             and database.shard_count > 1

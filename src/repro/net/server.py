@@ -45,7 +45,7 @@ import struct
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass
-from typing import Any, Dict, Optional, Set, Tuple
+from typing import Any, Dict, Optional, Sequence, Set, Tuple
 
 from repro.core.ftree import FTree
 from repro.exec import worker as worker_mod
@@ -57,6 +57,16 @@ from repro.query.parser import parse_query
 from repro.storage.sharded import ShardedDatabase
 
 DEFAULT_HOST = "127.0.0.1"
+
+
+class OwnershipError(RuntimeError):
+    """A ``shard`` request named a shard this worker does not own.
+
+    Deliberately its own type (the error frame carries the type name):
+    a routing miss is the coordinator's problem -- it retries the next
+    replica -- and must not be confused with a sick worker, which gets
+    quarantined.
+    """
 
 
 @dataclass
@@ -72,6 +82,9 @@ class ServerStats:
     execute_tasks: int = 0
     stats_requests: int = 0
     mutations: int = 0
+    own_requests: int = 0
+    disown_requests: int = 0
+    ownership_rejections: int = 0
     errors: int = 0
     protocol_errors: int = 0
     oversized_frames: int = 0
@@ -107,6 +120,14 @@ class QueryServer:
         When set, additionally serve a plain-HTTP Prometheus text
         endpoint (``GET /metrics``) on this port -- the standard
         scrape surface, separate from the binary query port.
+    owned_shards:
+        When set (a sequence of shard indices), this worker *owns*
+        only those shards: ``shard`` requests for any other index are
+        refused with an :class:`OwnershipError` so a replicated
+        coordinator routes them to a replica that does own them.
+        ``None`` (the default) means the worker answers for every
+        shard.  Membership changes adjust ownership at runtime via
+        ``own``/``disown`` frames.
     """
 
     def __init__(
@@ -118,10 +139,14 @@ class QueryServer:
         max_frame: int = DEFAULT_MAX_FRAME,
         task_threads: int = 4,
         metrics_port: Optional[int] = None,
+        owned_shards: Optional[Sequence[int]] = None,
     ) -> None:
         if max_pending < 1:
             raise ValueError("max_pending must be positive")
         self.session = session
+        self.owned: Optional[Set[int]] = None
+        if owned_shards is not None:
+            self.owned = self._validated_shards(owned_shards)
         self.host = host
         self.port = port
         self.max_pending = max_pending
@@ -212,11 +237,37 @@ class QueryServer:
         self._pool.shutdown(wait=True)
         self.session.close()
 
+    # -- shard ownership ---------------------------------------------------
+
+    def _validated_shards(self, shards: Sequence[int]) -> Set[int]:
+        """``shards`` as a set of in-range indices, or raise."""
+        database = self.session.database
+        if not isinstance(database, ShardedDatabase):
+            raise ProtocolError(
+                "this server holds an unsharded database; shard "
+                "ownership does not apply"
+            )
+        indices: Set[int] = set()
+        for shard in shards:
+            index = int(shard)
+            if not 0 <= index < database.shard_count:
+                raise ProtocolError(
+                    f"shard {index} out of range "
+                    f"0..{database.shard_count - 1}"
+                )
+            indices.add(index)
+        return indices
+
+    def owned_shards(self) -> Optional[Tuple[int, ...]]:
+        """The sorted owned shard indices, or ``None`` = all shards."""
+        return None if self.owned is None else tuple(sorted(self.owned))
+
     # -- connection handling -----------------------------------------------
 
     def _hello_header(self) -> Dict[str, Any]:
         database = self.session.database
         sharded = isinstance(database, ShardedDatabase)
+        owned = self.owned_shards()
         return {
             "protocol": protocol.PROTOCOL_VERSION,
             "server": "repro.net",
@@ -227,6 +278,10 @@ class QueryServer:
             "strategy": database.strategy if sharded else None,
             "relations": sorted(database.names),
             "db_version": database.version,
+            # None = this worker answers for every shard; a list = it
+            # owns only those (the replicated coordinator routes
+            # around the rest without a wasted round trip).
+            "owned_shards": None if owned is None else list(owned),
             # Arena results can travel against a per-connection shared
             # value pool ("pool": true on the request) -- see
             # repro.persist.codec.ArenaPoolEncoder.
@@ -376,6 +431,8 @@ class QueryServer:
                 )
             elif kind == "mutate":
                 await self._process_mutate(header, payload, writer, lock)
+            elif kind in ("own", "disown"):
+                await self._process_ownership(kind, header, writer, lock)
             elif kind == "stats":
                 self.stats.stats_requests += 1
                 await self._send(
@@ -562,6 +619,12 @@ class QueryServer:
                     f"shard {index} out of range "
                     f"0..{database.shard_count - 1}"
                 )
+            if self.owned is not None and index not in self.owned:
+                self.stats.ownership_rejections += 1
+                raise OwnershipError(
+                    f"this worker does not own shard {index} "
+                    f"(owned: {sorted(self.owned)})"
+                )
             fanout = str(header["fanout"])
             elapsed, fr, records = worker_mod.traced_call(
                 ctx,
@@ -631,6 +694,48 @@ class QueryServer:
             "count": count,
             "db_version": database.version,
         }
+
+    async def _process_ownership(
+        self,
+        kind: str,
+        header: Dict[str, Any],
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        """``own``/``disown``: adjust this worker's shard ownership.
+
+        Rebalancing tool of the cluster tier: on a membership change
+        the coordinator recomputes the consistent-hash ring and tells
+        each surviving worker which shards it gained (``own``) or shed
+        (``disown``).  The receipt echoes the full post-change owned
+        set, so both sides agree on the contract.
+        """
+        shards = header.get("shards")
+        if not isinstance(shards, list):
+            raise ProtocolError(
+                f"{kind} 'shards' must be a list of shard indices"
+            )
+        indices = self._validated_shards(shards)
+        database = self.session.database
+        everything = set(range(database.shard_count))
+        current = everything if self.owned is None else set(self.owned)
+        if kind == "own":
+            self.stats.own_requests += 1
+            current |= indices
+        else:
+            self.stats.disown_requests += 1
+            current -= indices
+        self.owned = current
+        await self._send(
+            writer,
+            lock,
+            f"{kind}-result",
+            {
+                "id": header.get("id"),
+                "owned": sorted(current),
+                "shard_count": database.shard_count,
+            },
+        )
 
     # -- introspection -----------------------------------------------------
 

@@ -19,6 +19,7 @@ from repro.persist.codec import (
     PersistError,
     inspect,
     load,
+    load_shard_manifest,
     save,
 )
 from repro.persist.store import PlanStore, schema_fingerprint
@@ -32,6 +33,7 @@ __all__ = [
     "PlanStore",
     "inspect",
     "load",
+    "load_shard_manifest",
     "save",
     "schema_fingerprint",
 ]

@@ -1029,18 +1029,35 @@ def _save_sharded(db: ShardedDatabase, path: str) -> None:
         raise
 
 
-def _load_sharded(path: str) -> ShardedDatabase:
+def load_shard_manifest(path: str) -> Dict[str, Any]:
+    """The manifest dict of a sharded-database directory.
+
+    Cheap (no shard file is opened): cluster tooling derives shard
+    counts and per-shard file names from it without loading data.
+    Errors name the manifest, so a truncated or garbled
+    ``manifest.fdbp`` is diagnosable from the message alone.
+    """
     manifest_path = os.path.join(path, MANIFEST_NAME)
     if not os.path.exists(manifest_path):
         raise PersistError(
             f"{path!r} is not a sharded database: no {MANIFEST_NAME}"
         )
-    with open(manifest_path, "rb") as handle:
-        kind, manifest, _ = read_blob(handle)
+    try:
+        with open(manifest_path, "rb") as handle:
+            kind, manifest, _ = read_blob(handle)
+    except PersistError as exc:
+        raise PersistError(
+            f"unreadable manifest {MANIFEST_NAME!r} in {path!r}: {exc}"
+        ) from exc
     if kind != "shard-manifest":
         raise PersistError(
             f"expected a shard-manifest blob, found {kind!r}"
         )
+    return manifest
+
+
+def _load_sharded(path: str) -> ShardedDatabase:
+    manifest = load_shard_manifest(path)
     try:
         shards = int(manifest["shards"])
         strategy = manifest["strategy"]
@@ -1058,8 +1075,13 @@ def _load_sharded(path: str) -> ShardedDatabase:
         shard_path = os.path.join(path, entry["file"])
         if not os.path.exists(shard_path):
             raise PersistError(f"missing shard file {entry['file']!r}")
-        with open(shard_path, "rb") as handle:
-            kind, header, payload = read_blob(handle)
+        try:
+            with open(shard_path, "rb") as handle:
+                kind, header, payload = read_blob(handle)
+        except PersistError as exc:
+            raise PersistError(
+                f"unreadable shard file {entry['file']!r}: {exc}"
+            ) from exc
         if kind != "database":
             raise PersistError(
                 f"shard file {entry['file']!r} holds {kind!r}, "

@@ -1,0 +1,220 @@
+"""A TCP chaos proxy for fault-injecting the cluster tier.
+
+:class:`ChaosProxy` sits between a coordinator and one worker server
+and misbehaves on command, at the byte level, without the worker's
+cooperation -- so the tests exercise exactly the failures a real
+deployment sees:
+
+- ``refuse(True)`` -- accept and immediately close (a dead or
+  firewalled worker at connect time);
+- ``delay = seconds`` -- hold every forwarded chunk (a slow network;
+  drives per-attempt timeouts);
+- ``kill_after_bytes(n)`` -- forward ``n`` more server-to-client
+  bytes, then cut both directions.  Because wire frames are length-
+  prefixed, any ``n`` that lands inside a response *truncates it
+  mid-frame* -- the client sees a short read, never a clean EOF
+  between frames;
+- ``kill_connections()`` -- cut every live connection right now (a
+  worker process dying mid-batch);
+- ``kill_connections_after(seconds)`` -- the same, on a schedule,
+  from a timer thread (dying *while* a batch is in flight).
+
+Everything is thread-safe; a test flips modes while connections are
+live.  The proxy listens on an ephemeral port (:attr:`address`) and
+counts what it saw (:attr:`connections_seen`, :attr:`bytes_down`,
+:attr:`kills`), so tests can assert the chaos actually happened --
+a fault-injection test that silently injected nothing proves nothing.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import List, Optional, Tuple
+
+
+class ChaosProxy:
+    """A controllable man-in-the-middle for one worker address."""
+
+    def __init__(
+        self, target: Tuple[str, int], host: str = "127.0.0.1"
+    ) -> None:
+        self.target = (target[0], int(target[1]))
+        self._listener = socket.socket(
+            socket.AF_INET, socket.SOCK_STREAM
+        )
+        self._listener.setsockopt(
+            socket.SOL_SOCKET, socket.SO_REUSEADDR, 1
+        )
+        self._listener.bind((host, 0))
+        self._listener.listen(16)
+        #: Where clients connect instead of the worker.
+        self.address: Tuple[str, int] = self._listener.getsockname()
+        self._lock = threading.Lock()
+        self._refuse = False
+        self.delay = 0.0
+        self._down_budget: Optional[int] = None
+        self._pairs: List[Tuple[socket.socket, socket.socket]] = []
+        self._timers: List[threading.Timer] = []
+        self._closed = False
+        self.connections_seen = 0
+        self.bytes_up = 0
+        self.bytes_down = 0
+        self.kills = 0
+        self._thread = threading.Thread(
+            target=self._accept_loop, daemon=True
+        )
+        self._thread.start()
+
+    # -- chaos controls ----------------------------------------------------
+
+    def refuse(self, flag: bool = True) -> None:
+        """Refuse new connections (live ones are untouched)."""
+        with self._lock:
+            self._refuse = flag
+
+    def kill_after_bytes(self, budget: int) -> None:
+        """Cut every connection after ``budget`` more downstream
+        (server-to-client) bytes -- mid-frame, for any budget that
+        lands inside a length-prefixed response."""
+        with self._lock:
+            self._down_budget = int(budget)
+
+    def kill_connections(self) -> None:
+        """Cut every live connection immediately, both directions."""
+        with self._lock:
+            pairs, self._pairs = self._pairs, []
+            if pairs:
+                self.kills += 1
+        for a, b in pairs:
+            _hard_close(a)
+            _hard_close(b)
+
+    def kill_connections_after(self, seconds: float) -> threading.Timer:
+        """Schedule :meth:`kill_connections` from a timer thread."""
+        timer = threading.Timer(seconds, self.kill_connections)
+        timer.daemon = True
+        with self._lock:
+            self._timers.append(timer)
+        timer.start()
+        return timer
+
+    def heal(self) -> None:
+        """Back to a faithful pass-through proxy."""
+        with self._lock:
+            self._refuse = False
+            self.delay = 0.0
+            self._down_budget = None
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            timers = list(self._timers)
+        for timer in timers:
+            timer.cancel()
+        _hard_close(self._listener)
+        self.kill_connections()
+        self._thread.join(timeout=10)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            with self._lock:
+                refused = self._refuse or self._closed
+            if refused:
+                _hard_close(client)
+                continue
+            try:
+                upstream = socket.create_connection(
+                    self.target, timeout=10
+                )
+            except OSError:
+                _hard_close(client)
+                continue
+            with self._lock:
+                self.connections_seen += 1
+                self._pairs.append((client, upstream))
+            for source, sink, down in (
+                (upstream, client, True),
+                (client, upstream, False),
+            ):
+                threading.Thread(
+                    target=self._pump,
+                    args=(source, sink, down),
+                    daemon=True,
+                ).start()
+
+    def _pump(
+        self, source: socket.socket, sink: socket.socket, down: bool
+    ) -> None:
+        while True:
+            try:
+                chunk = source.recv(4096)
+            except OSError:
+                chunk = b""
+            if not chunk:
+                # EOF or cut: drop the whole pair so a half-open
+                # socket cannot linger as a hung connection.
+                self._drop(source, sink)
+                return
+            with self._lock:
+                delay = self.delay
+                cut = False
+                if down:
+                    if self._down_budget is not None:
+                        if len(chunk) >= self._down_budget:
+                            chunk = chunk[: self._down_budget]
+                            self._down_budget = 0
+                            cut = True
+                        else:
+                            self._down_budget -= len(chunk)
+                    self.bytes_down += len(chunk)
+                else:
+                    self.bytes_up += len(chunk)
+            if delay:
+                threading.Event().wait(delay)
+            try:
+                if chunk:
+                    sink.sendall(chunk)
+            except OSError:
+                self._drop(source, sink)
+                return
+            if cut:
+                with self._lock:
+                    self.kills += 1
+                self._drop(source, sink)
+                return
+
+    def _drop(self, a: socket.socket, b: socket.socket) -> None:
+        with self._lock:
+            self._pairs = [
+                pair
+                for pair in self._pairs
+                if a not in pair and b not in pair
+            ]
+        _hard_close(a)
+        _hard_close(b)
+
+
+def _hard_close(sock: socket.socket) -> None:
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass

@@ -370,6 +370,95 @@ def test_remote_executor_multi_worker_path_agrees(
         assert executor.local_fallbacks == 0
 
 
+@pytest.mark.parametrize(
+    "db_seed,query_seed,count,strategy",
+    [
+        (116, 216, 17, "hash"),
+        (117, 217, 17, "round_robin"),
+        (118, 218, 16, "hash"),
+    ],
+)
+def test_replicated_cluster_with_one_dead_worker_agrees(
+    tmp_path, db_seed, query_seed, count, strategy
+):
+    """The cluster tier joins the harness (PR-1 policy): a 3-worker
+    replicated ring (R=2, consistent-hash shard ownership), with the
+    busiest primary worker killed between sub-batches, must keep
+    agreeing with FDB, the flat engine and SQLite -- the surviving
+    replicas absorb the dead worker's shards via retries, with zero
+    local degrades.  17+17+16 = 50 >= 50 queries."""
+    from repro import persist
+    from repro.net import (
+        ClusterMap,
+        RemoteSession,
+        ReplicatedExecutor,
+        ServerThread,
+    )
+
+    db = _database(db_seed)
+    shards = 3
+    sharded = ShardedDatabase.from_database(
+        db, shards=shards, strategy=strategy
+    )
+    path = str(tmp_path / "sharded")
+    persist.save(sharded, path)
+    queries = _queries(db, query_seed, count)
+    servers = [
+        ServerThread(
+            QuerySession(persist.load(path), encoding="arena"),
+            owned_shards=[],
+        )
+        for _ in range(3)
+    ]
+    keys = [f"{h}:{p}" for h, p in (s.address for s in servers)]
+    cmap = ClusterMap(keys, shards, replication_factor=2)
+    assignments = cmap.assignments()
+    for key, server in zip(keys, servers):
+        if assignments[key]:
+            with RemoteSession(server.address) as client:
+                client.own_shards(assignments[key])
+    primaries = [cmap.replicas_for(s)[0] for s in range(shards)]
+    victim = keys.index(max(keys, key=primaries.count))
+    executor = ReplicatedExecutor(
+        keys,
+        replication_factor=2,
+        timeout=60,
+        backoff_base=0.01,
+        quarantine_seconds=60,
+        seed=db_seed,
+    )
+    half = count // 2
+    try:
+        with SQLiteEngine(db) as sqlite, QuerySession(
+            sharded, executor=executor, check_invariants=True
+        ) as session:
+            results = list(session.run_batch(queries[:half]))
+            servers[victim].stop()  # a primary dies between batches
+            results += list(session.run_batch(queries[half:]))
+            for index, (query, result) in enumerate(
+                zip(queries, results)
+            ):
+                order, expected = fdb_rows(db, query)
+                context = (
+                    f"cluster, seed {db_seed}/{query_seed} "
+                    f"({strategy}) query {index}: {query}"
+                )
+                assert result.rows() == expected, context
+                assert flat_rows(db, query, order) == expected, context
+                assert (
+                    sqlite_rows(sqlite, db, query, order) == expected
+                ), context
+        assert executor.remote_tasks > 0
+        assert executor.retries > 0
+        assert executor.degrade_to_local == 0
+    finally:
+        for server in servers:
+            try:
+                server.stop()
+            except Exception:
+                pass
+
+
 def test_arena_saved_then_reloaded_results_agree(tmp_path):
     """Factorised results that went to disk as arena blobs answer
     follow-up reads exactly like the in-memory originals."""

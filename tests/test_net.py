@@ -335,6 +335,59 @@ def test_client_close_fails_pending_futures(served):
         future.result(10)
 
 
+class _Unclosable:
+    """A socket wrapper whose shutdown/close are no-ops, so the reader
+    thread stays blocked in recv and close() hits its join timeout."""
+
+    def __init__(self, sock):
+        self._sock = sock
+
+    def shutdown(self, *args):
+        pass
+
+    def close(self):
+        pass
+
+    def __getattr__(self, name):
+        return getattr(self._sock, name)
+
+
+def test_close_with_stuck_reader_warns_and_fails_pending(served):
+    from concurrent.futures import Future
+
+    client = RemoteSession(served.address, reader_join_timeout=0.2)
+    assert client.run("SELECT a00 FROM R0").count() >= 0
+    real_sock = client._sock
+    client._sock = _Unclosable(real_sock)
+    stranded: Future = Future()
+    with client._state_lock:
+        client._pending[99999] = (stranded, ())
+    try:
+        with pytest.warns(RuntimeWarning, match="did not exit"):
+            client.close()
+        # The session says what happened instead of hanging or
+        # silently leaking: defunct flag up, pending futures failed.
+        assert client.defunct
+        with pytest.raises(NetError, match="stuck reader"):
+            stranded.result(0)
+    finally:
+        # Release the (daemon) reader thread: shutdown interrupts the
+        # blocked recv; close alone would not.
+        try:
+            real_sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        real_sock.close()
+    client._reader.join(timeout=10)
+    assert not client._reader.is_alive()
+
+
+def test_clean_close_is_not_defunct(served):
+    client = RemoteSession(served.address)
+    client.close()
+    assert client.closed and not client.defunct
+
+
 # -- RemoteExecutor ----------------------------------------------------------
 
 
@@ -393,6 +446,40 @@ def test_remote_executor_skips_version_mismatched_workers(tmp_path):
             assert executor.local_fallbacks > 0
 
 
+def test_version_mismatch_is_reprobed_when_the_coordinator_catches_up(
+    tmp_path,
+):
+    """A mismatch is transient, not terminal: once the coordinator's
+    version matches the worker's again, the next batch must go remote
+    (the executor re-probes the hello instead of keeping the worker
+    pinned dead forever)."""
+    db = _database(70)
+    sharded = ShardedDatabase.from_database(db, shards=2)
+    path = str(tmp_path / "sharded")
+    persist.save(sharded, path)
+    ahead = persist.load(path)
+    ahead.extend_rows("R0", [(99, 99)])  # worker runs one ahead
+    with ServerThread(QuerySession(ahead, encoding="arena")) as server:
+        executor = RemoteExecutor([server.address], timeout=30)
+        with QuerySession(sharded, executor=executor) as coordinator:
+            queries = random_spj_queries(
+                db, 4, seed=72, max_relations=2, max_equalities=1
+            )
+            coordinator.run_batch(queries[:2])
+            assert executor.remote_tasks == 0  # mismatched: skipped
+            assert executor.local_fallbacks > 0
+            # The coordinator applies the same mutation; versions now
+            # agree.  Fresh queries, so the delta-maintained result
+            # cache cannot satisfy the batch without fan-out.
+            sharded.extend_rows("R0", [(99, 99)])
+            results = coordinator.run_batch(queries[2:])
+            assert executor.remote_tasks > 0
+            assert executor.live_workers == 1
+            with QuerySession(ahead) as plain:
+                expected = [plain.run(q).rows() for q in queries[2:]]
+            assert [r.rows() for r in results] == expected
+
+
 def test_cli_batch_connect(served, capsys):
     from repro.cli import main
 
@@ -429,11 +516,22 @@ def test_oversized_response_degrades_to_per_request_error():
 
 
 def test_run_timeout_raises_neterror_and_releases_the_slot(served):
-    client = RemoteSession(served.address, timeout=0.0)
-    with pytest.raises(NetError, match="within"):
-        client.run("SELECT a00 FROM R0")
-    with client._state_lock:
-        assert not client._pending  # timed-out entry was released
-    client.timeout = 30.0
-    assert client.run("SELECT a00 FROM R0").count() >= 0
-    client.close()
+    # Delay the response through a proxy rather than racing a zero
+    # timeout: on localhost the server can answer inside any window,
+    # so timeout=0.0 flakes when the reader wins the race.
+    from fault_injection import ChaosProxy
+
+    proxy = ChaosProxy(served.address)
+    try:
+        client = RemoteSession(proxy.address, timeout=0.2)
+        proxy.delay = 2.0
+        with pytest.raises(NetError, match="within"):
+            client.run("SELECT a00 FROM R0")
+        with client._state_lock:
+            assert not client._pending  # timed-out entry was released
+        proxy.delay = 0.0
+        client.timeout = 30.0
+        assert client.run("SELECT a00 FROM R0").count() >= 0
+        client.close()
+    finally:
+        proxy.close()
