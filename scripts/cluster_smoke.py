@@ -17,6 +17,12 @@ CI greps that line for ``retries=[1-9]`` (the failover actually ran),
 ``degrade_to_local=0`` (no silent coordinator-side evaluation) and
 ``answers=unchanged`` (byte-identical to local evaluation).
 
+Mid-batch -- after the healthy batch has spread heat across the fleet
+and before the kill -- the script also runs ``repro cluster-status
+--prometheus`` against all three workers and echoes its output, so CI
+can additionally grep the federated families (``repro_worker_up`` for
+every worker, a non-empty ``repro_shard_queries`` heat map).
+
 Usage: ``PYTHONPATH=src python scripts/cluster_smoke.py [workdir]``
 """
 
@@ -141,6 +147,48 @@ def main() -> int:
                 raise SystemExit(
                     "cluster-smoke: healthy batch never went remote"
                 )
+            # Mid-batch, with heat on every worker: the observability
+            # plane must federate the live fleet from one command.
+            status = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "cluster-status",
+                    ",".join(keys),
+                    "--replication-factor", str(REPLICATION),
+                    "--prometheus",
+                ],
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=60,
+            )
+            sys.stdout.write(status.stdout)
+            sys.stdout.flush()
+            if status.returncode != 0:
+                print(
+                    "cluster-smoke: FAIL: cluster-status exited "
+                    f"{status.returncode}:\n{status.stderr}",
+                    flush=True,
+                )
+                return 1
+            for needle in (
+                'repro_worker_up{worker="',
+                'repro_shard_queries{shard="',
+            ):
+                if needle not in status.stdout:
+                    print(
+                        "cluster-smoke: FAIL: cluster-status output "
+                        f"lacks {needle!r}",
+                        flush=True,
+                    )
+                    return 1
+            up = status.stdout.count("repro_worker_up{")
+            if up != WORKERS:
+                print(
+                    f"cluster-smoke: FAIL: expected {WORKERS} "
+                    f"repro_worker_up samples, saw {up}",
+                    flush=True,
+                )
+                return 1
             # SIGKILL the busiest primary.  The coordinator still
             # holds live connections to it, so the loss surfaces on
             # in-flight shard tasks of the next batch -- mid-batch,

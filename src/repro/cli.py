@@ -276,6 +276,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         executor = ReplicatedExecutor(
             cluster_workers,
             replication_factor=args.replication_factor,
+            flight_path=args.flight_log,
         )
     plan_store = (
         persist.PlanStore(args.plan_store) if args.plan_store else None
@@ -389,6 +390,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     slow_log = SlowQueryLog(
         threshold=args.slow_query_threshold,
         path=args.slow_query_log or None,
+        max_bytes=args.slow_query_log_max_bytes,
     )
     session = QuerySession(
         db,
@@ -552,12 +554,83 @@ def _cmd_stats_remote(args: argparse.Namespace) -> int:
         with RemoteSession(args.connect) as client:
             if args.prometheus:
                 print(client.metrics_text(), end="")
+            elif getattr(args, "events", False):
+                # The flight recorder's ring, as JSONL -- it travels
+                # inside the metrics snapshot (the `flight` collector
+                # namespace), so no extra wire frame is needed.
+                snapshot = client.metrics()
+                flight = snapshot.get("flight") or {}
+                for event in flight.get("events") or []:
+                    print(
+                        json.dumps(event, sort_keys=True, default=str)
+                    )
             else:
                 snapshot = client.metrics()
                 snapshot.pop("id", None)
                 print(json.dumps(snapshot, indent=2, sort_keys=True))
     except NetError as exc:
         raise SystemExit(f"remote stats failed: {exc}")
+    return 0
+
+
+def cmd_cluster_status(args: argparse.Namespace) -> int:
+    """One terminal's view of a whole worker fleet.
+
+    Scrapes every worker's ``metrics`` frame (bounded timeouts -- a
+    dead worker shows up as DOWN with a staleness age, it never hangs
+    the poll), merges the snapshots, renders per-worker liveness, the
+    shard heat map against the replica chains, and the rebalance
+    advisor's recommendations.
+    """
+    import json
+
+    from repro.obs import report
+    from repro.obs.cluster import ClusterFederation, advise
+
+    workers = [
+        part.strip() for part in args.workers.split(",") if part.strip()
+    ]
+    if not workers:
+        raise SystemExit(
+            "cluster-status needs at least one host:port worker"
+        )
+    if args.replication_factor < 1:
+        raise SystemExit(
+            f"--replication-factor must be >= 1, "
+            f"got {args.replication_factor}"
+        )
+    try:
+        federation = ClusterFederation(
+            workers,
+            replication_factor=args.replication_factor,
+            connect_timeout=args.timeout,
+            request_timeout=args.timeout,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    try:
+        while True:
+            federation.poll()
+            view = federation.view()
+            if args.prometheus:
+                print(federation.prometheus_text(view), end="")
+            elif args.json:
+                print(
+                    json.dumps(
+                        view, indent=2, sort_keys=True, default=str
+                    )
+                )
+            else:
+                for line in report.cluster_lines(view, advise(view)):
+                    print(line)
+            if not args.watch:
+                break
+            print("", flush=True)
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        federation.stop()
     return 0
 
 
@@ -805,6 +878,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 2, clamped to the worker count)",
     )
     b.add_argument(
+        "--flight-log",
+        default=None,
+        metavar="PATH",
+        help="with --cluster: dump the coordinator's flight-recorder "
+        "ring to this JSONL file automatically on loud faults "
+        "(degrade-to-local, retry exhaustion)",
+    )
+    b.add_argument(
         "-v",
         "--verbose",
         action="store_true",
@@ -907,6 +988,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(in-memory ring buffer only, when omitted)",
     )
     srv.add_argument(
+        "--slow-query-log-max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rotate the slow-query log file when it would cross N "
+        "bytes (keep-one policy: the previous file moves to "
+        "PATH.1); unbounded when omitted",
+    )
+    srv.add_argument(
         "--own-shards",
         default=None,
         metavar="I,J,...",
@@ -973,7 +1063,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --connect: print the Prometheus text exposition "
         "instead of the JSON snapshot",
     )
+    s.add_argument(
+        "--events",
+        action="store_true",
+        help="with --connect: dump the server's flight-recorder ring "
+        "(structured fault events) as JSON lines",
+    )
     s.set_defaults(func=cmd_stats)
+
+    cs = sub.add_parser(
+        "cluster-status",
+        help="federate a worker fleet's metrics into one view: "
+        "per-worker liveness, merged counters, the shard heat map "
+        "and rebalance advice",
+    )
+    cs.add_argument(
+        "workers",
+        metavar="HOST:PORT,...",
+        help="comma-separated worker addresses to scrape",
+    )
+    cs.add_argument(
+        "--replication-factor",
+        type=int,
+        default=2,
+        help="replicas per shard on the ring the heat map is drawn "
+        "against (default 2; match the coordinator's)",
+    )
+    cs.add_argument(
+        "--watch",
+        action="store_true",
+        help="keep polling and re-rendering every --interval seconds",
+    )
+    cs.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between --watch polls (default 2.0)",
+    )
+    cs.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="per-worker scrape bound in seconds (default 5.0); a "
+        "dead worker shows as DOWN, it never hangs the poll",
+    )
+    cs.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="print the worker-labelled Prometheus exposition "
+        "instead of the text report",
+    )
+    cs.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw federated view as JSON",
+    )
+    cs.set_defaults(func=cmd_cluster_status)
 
     ex = sub.add_parser(
         "explain",

@@ -45,6 +45,10 @@ from repro.service.session import SessionResult
 
 Address = Union[str, Tuple[str, int]]
 
+#: "No per-call timeout given -- use the session default."  A real
+#: sentinel, because ``None`` is a meaningful timeout (wait forever).
+_UNSET = object()
+
 
 class NetError(RuntimeError):
     """A remote request failed: server-side error, lost connection,
@@ -161,17 +165,21 @@ class RemoteSession:
 
     # -- the public QuerySession-shaped API --------------------------------
 
-    def _await(self, rid: int, future: Future):
+    def _await(self, rid: int, future: Future, timeout=_UNSET):
         """Block on a response; timeouts become :class:`NetError` and
-        release the pending entry (a late response is then ignored)."""
+        release the pending entry (a late response is then ignored).
+        ``timeout`` overrides the session default for this one call
+        (federation pollers scrape with a bound tighter than the
+        query timeout)."""
+        wait = self.timeout if timeout is _UNSET else timeout
         try:
-            return future.result(self.timeout)
+            return future.result(wait)
         except (TimeoutError, _FutureTimeout):
             with self._state_lock:
                 self._pending.pop(rid, None)
             raise NetError(
                 f"no response from {self.address[0]}:"
-                f"{self.address[1]} within {self.timeout}s"
+                f"{self.address[1]} within {wait}s"
             ) from None
 
     def run(
@@ -228,25 +236,27 @@ class RemoteSession:
             trace.extend(result.spans, prefix="server:")
         return result
 
-    def stats(self) -> Dict[str, Any]:
+    def stats(self, timeout=_UNSET) -> Dict[str, Any]:
         """The server's ``STATS`` document: the unified registry
         snapshot (server / session / cache / queue / plan-store /
         slow-log counters) plus the request id."""
         rid, future = self._request("stats", {}, context=("stats",))
-        return self._await(rid, future)
+        return self._await(rid, future, timeout)
 
-    def metrics(self) -> Dict[str, Any]:
+    def metrics(self, timeout=_UNSET) -> Dict[str, Any]:
         """The server's unified metrics snapshot (a plain nested
         dict; the same document the Prometheus endpoint flattens)."""
         snapshot, _ = self._await(
-            *self._request("metrics", {}, context=("metrics",))
+            *self._request("metrics", {}, context=("metrics",)),
+            timeout,
         )
         return snapshot
 
-    def metrics_text(self) -> str:
+    def metrics_text(self, timeout=_UNSET) -> str:
         """The server's metrics in Prometheus text exposition format."""
         _, text = self._await(
-            *self._request("metrics", {}, context=("metrics",))
+            *self._request("metrics", {}, context=("metrics",)),
+            timeout,
         )
         return text
 

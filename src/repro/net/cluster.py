@@ -56,6 +56,7 @@ from repro.net.client import (
 )
 from repro.net.remote import RemoteExecutor
 from repro.obs import trace as obs_trace
+from repro.obs.flight import FlightRecorder
 from repro.query.query import Query
 
 __all__ = ["ClusterMap", "ReplicatedExecutor"]
@@ -268,6 +269,7 @@ class ReplicatedExecutor(RemoteExecutor):
         quarantine_cap: float = 60.0,
         points_per_worker: int = 64,
         seed: Optional[int] = None,
+        flight_path: Optional[str] = None,
     ) -> None:
         super().__init__(
             workers, timeout=timeout, connect_timeout=connect_timeout
@@ -310,6 +312,14 @@ class ReplicatedExecutor(RemoteExecutor):
         self.probe_failures = 0
         self.degrade_to_local = 0
         self.rebalances = 0
+        #: The same fault counters attributed per worker address, so a
+        #: multi-worker incident names its victims instead of only a
+        #: fleet-wide aggregate.
+        self._per_worker: Dict[str, Dict[str, int]] = {}
+        #: The coordinator-side fault narrative (see repro.obs.flight);
+        #: ``flight_path`` makes loud faults (degrade-to-local, retry
+        #: exhaustion) dump the ring to disk the moment they happen.
+        self.flight = FlightRecorder(path=flight_path)
 
     # -- fleet state -------------------------------------------------------
 
@@ -354,13 +364,28 @@ class ReplicatedExecutor(RemoteExecutor):
             "probe_failures": self.probe_failures,
             "degrade_to_local": self.degrade_to_local,
             "rebalances": self.rebalances,
+            "per_worker": {
+                key: dict(tallies)
+                for key, tallies in self._per_worker.items()
+            },
         }
+
+    def _tag(self, index_or_key, name: str) -> None:
+        """Attribute one fault-counter increment to a worker."""
+        key = (
+            self._keys[index_or_key]
+            if isinstance(index_or_key, int)
+            else str(index_or_key)
+        )
+        tallies = self._per_worker.setdefault(key, {})
+        tallies[name] = tallies.get(name, 0) + 1
 
     def _ensure_registered(self, session) -> None:
         registry = getattr(session, "registry", None)
         if registry is None or registry is self._registry:
             return
         registry.register("cluster", self.counters)
+        registry.register("flight", self.flight.counters)
         self._registry = registry
 
     def invalidate(self) -> None:
@@ -482,12 +507,18 @@ class ReplicatedExecutor(RemoteExecutor):
                 session.close()
         self._maps.clear()
         self.rebalances += 1
+        self.flight.record(
+            "rebalance",
+            workers=list(new_keys),
+            pushed=sorted(pushed),
+        )
         return pushed
 
     # -- health / quarantine -----------------------------------------------
 
     def _quarantine(self, index: int) -> None:
         self.quarantines += 1
+        self._tag(index, "quarantines")
         streak = min(self._quarantine_streak[index] + 1, 8)
         self._quarantine_streak[index] = streak
         window = min(
@@ -495,6 +526,12 @@ class ReplicatedExecutor(RemoteExecutor):
             self.quarantine_seconds * (2 ** (streak - 1)),
         )
         self._quarantined_until[index] = time.monotonic() + window
+        self.flight.record(
+            "quarantine-open",
+            worker=self._keys[index],
+            streak=streak,
+            window=window,
+        )
         session = self._sessions[index]
         self._sessions[index] = None
         if session is not None:
@@ -503,6 +540,9 @@ class ReplicatedExecutor(RemoteExecutor):
     def _record_success(self, index: int) -> None:
         if self._quarantine_streak[index]:
             self.probe_recoveries += 1
+            self.flight.record(
+                "quarantine-close", worker=self._keys[index]
+            )
         self._quarantine_streak[index] = 0
         self._quarantined_until[index] = 0.0
 
@@ -513,15 +553,21 @@ class ReplicatedExecutor(RemoteExecutor):
             # The worker is fine; *we* routed a shard it does not
             # own.  Retry elsewhere, never quarantine.
             self.ownership_misses += 1
+            self._tag(index, "ownership_misses")
+            self.flight.record(
+                "ownership-miss", worker=self._keys[index]
+            )
             return
         if isinstance(exc, (TimeoutError, _FutureTimeout)):
             self.timeouts += 1
+            self._tag(index, "timeouts")
         elif "server error (" in text:
             # The worker answered -- with an error.  It is alive;
             # replicas may still succeed (their state can differ), and
             # if the error is deterministic the local degrade surfaces
             # it.  Don't poison the worker for unrelated shards.
             self.worker_errors += 1
+            self._tag(index, "worker_errors")
             return
         if self._quarantine_streak[index]:
             self.probe_failures += 1
@@ -558,6 +604,7 @@ class ReplicatedExecutor(RemoteExecutor):
                 )
             except NetError:
                 self.connect_failures += 1
+                self._tag(index, "connect_failures")
                 if probing:
                     self.probe_failures += 1
                 self._quarantine(index)
@@ -581,6 +628,7 @@ class ReplicatedExecutor(RemoteExecutor):
             # Known non-owner: routing around it costs nothing here,
             # versus a wasted round trip ending in OwnershipError.
             self.ownership_misses += 1
+            self._tag(index, "ownership_misses")
             return None
         return session
 
@@ -629,6 +677,7 @@ class ReplicatedExecutor(RemoteExecutor):
                 continue
             if task["attempted"]:
                 self.retries += 1
+                self._tag(worker_index, "retries")
             task["attempted"] += 1
             remote = self._usable_session(
                 worker_index, version, shard=index
@@ -659,6 +708,7 @@ class ReplicatedExecutor(RemoteExecutor):
                 continue
             if task["attempted"]:
                 self.retries += 1
+                self._tag(worker_index, "retries")
             task["attempted"] += 1
             remote = self._usable_session(worker_index, version)
             if remote is None:
@@ -697,6 +747,7 @@ class ReplicatedExecutor(RemoteExecutor):
             if not self._eligible(worker_index):
                 continue
             self.retries += 1
+            self._tag(worker_index, "retries")
             self._backoff_sleep(attempted)
             attempted += 1
             with obs_trace.span(
@@ -751,8 +802,17 @@ class ReplicatedExecutor(RemoteExecutor):
         # Every replica of this shard is down: evaluate locally, and
         # say so -- an explicit span plus counter, because a silently
         # degraded cluster is one coordinator doing all the work.
+        chain_keys = [self._keys[i] for i in task["chain"]]
+        self.flight.record(
+            "retry-exhausted", shard=index, chain=chain_keys
+        )
         self.degrade_to_local += 1
         self.local_fallbacks += 1
+        for key in chain_keys:
+            self._tag(key, "degrade_to_local")
+        self.flight.record(
+            "degrade-to-local", shard=index, chain=chain_keys
+        )
         with obs_trace.span("degrade-to-local", shard=index):
             return worker_mod.timed_call(
                 worker_mod.evaluate_shard,
@@ -779,8 +839,13 @@ class ReplicatedExecutor(RemoteExecutor):
             seconds, fr, worker_index, spans = outcome
             self._absorb_spans(worker_index, spans)
             return seconds, fr
+        chain_keys = [self._keys[i] for i in task["chain"]]
+        self.flight.record("retry-exhausted", chain=chain_keys)
         self.degrade_to_local += 1
         self.local_fallbacks += 1
+        for key in chain_keys:
+            self._tag(key, "degrade_to_local")
+        self.flight.record("degrade-to-local", chain=chain_keys)
         with obs_trace.span("degrade-to-local"):
             return worker_mod.timed_call(
                 worker_mod.evaluate_full,

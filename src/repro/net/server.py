@@ -42,6 +42,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import struct
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass
@@ -52,6 +53,7 @@ from repro.exec import worker as worker_mod
 from repro.net import protocol
 from repro.net.protocol import DEFAULT_MAX_FRAME, ProtocolError
 from repro.obs import trace as obs_trace
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.query.parser import parse_query
 from repro.storage.sharded import ShardedDatabase
@@ -159,6 +161,17 @@ class QueryServer:
             session, "registry", None
         ) or MetricsRegistry()
         self.registry.register("server", self._server_counters)
+        # Per-shard heat map: query/row/latency tallies keyed by shard
+        # index (string keys -- they travel in JSON wire frames).  The
+        # federation poller aggregates these across the fleet into the
+        # ring-utilisation view.
+        self._shard_heat: Dict[str, Dict[str, float]] = {}
+        self._heat_lock = threading.Lock()
+        self.registry.register("heat", self._heat_counters)
+        # Flight recorder: ownership misses and rebalances are the
+        # worker-side narrative a post-mortem needs.
+        self.flight = FlightRecorder()
+        self.registry.register("flight", self.flight.counters)
         self._request_seconds = self.registry.histogram(
             "request_seconds"
         )
@@ -621,6 +634,11 @@ class QueryServer:
                 )
             if self.owned is not None and index not in self.owned:
                 self.stats.ownership_rejections += 1
+                self.flight.record(
+                    "ownership-miss",
+                    shard=index,
+                    owned=sorted(self.owned),
+                )
                 raise OwnershipError(
                     f"this worker does not own shard {index} "
                     f"(owned: {sorted(self.owned)})"
@@ -637,6 +655,7 @@ class QueryServer:
                 fanout,
                 encoding,
             )
+            self._record_heat(index, elapsed, fr)
         else:
             elapsed, fr, records = worker_mod.traced_call(
                 ctx,
@@ -726,6 +745,12 @@ class QueryServer:
             self.stats.disown_requests += 1
             current -= indices
         self.owned = current
+        self.flight.record(
+            "rebalance",
+            op=kind,
+            shards=sorted(indices),
+            owned=sorted(current),
+        )
         await self._send(
             writer,
             lock,
@@ -738,6 +763,29 @@ class QueryServer:
         )
 
     # -- introspection -----------------------------------------------------
+
+    def _record_heat(self, index: int, elapsed: float, fr) -> None:
+        """Tally one shard evaluation into the heat map."""
+        try:
+            rows = int(fr.count())
+        except Exception:
+            rows = 0
+        with self._heat_lock:
+            entry = self._shard_heat.setdefault(
+                str(index), {"queries": 0, "rows": 0, "seconds": 0.0}
+            )
+            entry["queries"] += 1
+            entry["rows"] += rows
+            entry["seconds"] += float(elapsed)
+
+    def _heat_counters(self) -> Dict[str, Any]:
+        """The registry's ``heat`` namespace: per-shard load, keyed by
+        shard index."""
+        with self._heat_lock:
+            return {
+                shard: dict(entry)
+                for shard, entry in self._shard_heat.items()
+            }
 
     def _server_counters(self) -> Dict[str, Any]:
         """The registry's ``server`` namespace: lifetime counters plus
@@ -765,8 +813,10 @@ class QueryServer:
         """One-shot Prometheus scrape: minimal HTTP/1.0, text format.
 
         Deliberately tiny -- no routing, no keep-alive: a scraper
-        sends one GET, gets the exposition, and the connection closes.
-        Anything that is not a GET for ``/metrics`` is a 404.
+        sends one GET (or HEAD -- health checkers probe that way and
+        get the same headers, no body), gets the exposition, and the
+        connection closes.  Any other method or path is answered with
+        a clean 404, never a hang or a reset.
         """
         try:
             request = await asyncio.wait_for(
@@ -780,9 +830,11 @@ class QueryServer:
                 if line in (b"\r\n", b"\n", b""):
                     break
             parts = request.decode("latin-1").split()
+            method = parts[0] if parts else ""
+            head_only = method == "HEAD"
             if (
                 len(parts) >= 2
-                and parts[0] == "GET"
+                and method in ("GET", "HEAD")
                 and parts[1].split("?")[0] in ("/metrics", "/")
             ):
                 body = self.registry.prometheus_text().encode("utf-8")
@@ -799,7 +851,7 @@ class QueryServer:
                     "Content-Type: text/plain\r\n"
                     f"Content-Length: {len(body)}\r\n\r\n"
                 ).encode("ascii")
-            writer.write(head + body)
+            writer.write(head if head_only else head + body)
             await writer.drain()
         except Exception:
             pass  # a broken scraper must never hurt the server

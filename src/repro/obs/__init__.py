@@ -19,10 +19,20 @@ path:
 - :mod:`repro.obs.profile` -- opt-in per-kernel timing of compiled
   arena plans (``repro explain --profile``), the serving-layer twin
   of the paper's fig 7/8; plus :mod:`repro.obs.slowlog` (structured
-  JSON slow-query log) and :mod:`repro.obs.report` (the shared CLI
-  rendering of a snapshot).
+  JSON slow-query log, size-capped with keep-one rotation) and
+  :mod:`repro.obs.report` (the shared CLI rendering of a snapshot);
+- :mod:`repro.obs.cluster` -- the cluster-wide plane:
+  :class:`ClusterFederation` scrapes every worker's ``metrics`` wire
+  frame into one namespaced view (per-worker liveness + staleness,
+  summed/max roll-ups, a per-shard heat map drawn against the
+  replica chains) and :func:`advise` turns that view into concrete
+  rebalance recommendations; :mod:`repro.obs.flight` -- the
+  :class:`FlightRecorder` bounded ring of structured fault events,
+  dumped as JSONL on demand or automatically on loud faults.
 """
 
+from repro.obs.cluster import ClusterFederation, advise
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import (
     LATENCY_BUCKETS,
     Counter,
@@ -36,11 +46,14 @@ from repro.obs.trace import Trace, activate, context, current, span
 
 __all__ = [
     "LATENCY_BUCKETS",
+    "ClusterFederation",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "PlanProfile",
+    "advise",
     "profile_plan",
     "SlowQueryLog",
     "Trace",

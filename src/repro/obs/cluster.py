@@ -1,0 +1,664 @@
+"""The cluster-wide observability plane: one view of a worker fleet.
+
+PR 8 made every *process* legible (one registry, one snapshot); PR 9
+made the fleet survivable (replicas, retries, quarantine).  This
+module makes the fleet legible *as one system*: a
+:class:`ClusterFederation` scrapes every worker's existing ``metrics``
+wire frame -- with bounded timeouts, so a dead or wedged worker can
+never hang the poll -- and merges the per-process snapshots into one
+namespaced cluster view:
+
+- ``worker[i].server.*`` -- each worker's own counters, verbatim,
+  plus per-worker **liveness** and **staleness age** (seconds since
+  the last successful scrape);
+- **roll-ups** -- numeric leaves summed across workers (gauges that
+  are not additive, e.g. ``peak_pending``/``uptime``, take the max);
+- a **shard heat map** -- the per-shard query/row/latency counters
+  the workers record on their execute path, aggregated against the
+  :class:`~repro.net.cluster.ClusterMap` replica chains so load
+  imbalance is visible next to who owns what;
+- the :func:`advise` **rebalance advisor** -- a pure function over
+  that view emitting concrete ``set_workers``/``replica-chain``
+  recommendations with reasons: the decision layer the ROADMAP's
+  auto-rebalancer will act on (actuation stays with the operator).
+
+The view is a plain nested dict (JSON-safe), rendered three ways:
+``repro cluster-status`` (text, via :func:`repro.obs.report.
+cluster_lines`), ``--prometheus`` (worker-labelled exposition via
+:meth:`ClusterFederation.prometheus_text`), and ``--json`` (the view
+verbatim).  :meth:`ClusterFederation.serve_http` additionally exposes
+the labelled exposition on a coordinator-side HTTP port.
+
+Network imports stay function-local: :mod:`repro.net` already imports
+:mod:`repro.obs`, and this module must not close that cycle at import
+time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ClusterFederation", "advise"]
+
+#: Snapshot keys whose cross-worker aggregate is a max, not a sum:
+#: high-water marks, clocks and configuration are not additive.
+_MAX_KEYS = frozenset(
+    {
+        "uptime",
+        "db_version",
+        "max_pending",
+        "max_frame",
+        "capacity",
+        "threshold",
+        "max_bytes",
+        "shard_count",
+    }
+)
+
+
+def _merge_numeric(into: Dict[str, Any], data: Dict[str, Any]) -> None:
+    """Fold ``data``'s numeric leaves into ``into`` (sum, or max for
+    high-water/config keys).  Strings, lists and ``None`` are
+    identity, not metrics -- same policy as the Prometheus flattener."""
+    for key, value in data.items():
+        if isinstance(value, dict):
+            _merge_numeric(into.setdefault(key, {}), value)
+        elif isinstance(value, bool):
+            continue
+        elif isinstance(value, (int, float)):
+            if key in _MAX_KEYS or "peak" in key:
+                into[key] = max(into.get(key, value), value)
+            else:
+                into[key] = into.get(key, 0) + value
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _flatten_labelled(
+    lines: List[str],
+    prefix: str,
+    data: Dict[str, Any],
+    label: str,
+    seen_types: set,
+) -> None:
+    """Numeric leaves of ``data`` as ``<prefix>_<path>{<label>} v``."""
+    for key in sorted(data, key=str):
+        value = data[key]
+        name = f"{prefix}_{str(key).replace('-', '_')}"
+        if isinstance(value, dict):
+            _flatten_labelled(lines, name, value, label, seen_types)
+        elif isinstance(value, bool):
+            if name not in seen_types:
+                seen_types.add(name)
+                lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name}{{{label}}} {int(value)}")
+        elif isinstance(value, (int, float)):
+            if name not in seen_types:
+                seen_types.add(name)
+                lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name}{{{label}}} {value}")
+
+
+def _parse_key(address) -> str:
+    """``"host:port"`` / ``(host, port)`` -> the canonical key."""
+    if isinstance(address, tuple):
+        host, port = address
+        return f"{host}:{int(port)}"
+    text = str(address)
+    if ":" not in text:
+        raise ValueError(
+            f"worker address {address!r} needs a port (host:port)"
+        )
+    host, _, port = text.rpartition(":")
+    return f"{host or '127.0.0.1'}:{int(port)}"
+
+
+class ClusterFederation:
+    """Scrape a worker fleet's ``metrics`` frames into one view.
+
+    Parameters
+    ----------
+    workers:
+        Worker addresses (``"host:port"`` strings or tuples) -- the
+        same list a :class:`~repro.net.cluster.ReplicatedExecutor`
+        routes over.
+    replication_factor:
+        Replicas per shard on the ring the heat map is drawn against.
+    connect_timeout / request_timeout:
+        Per-worker bounds on the TCP connect (plus hello) and on the
+        ``metrics`` response.  Workers are scraped concurrently and
+        every wait is bounded, so one dead or slow worker delays a
+        poll by at most these timeouts and can never hang it.
+    shard_count:
+        Usually learned from the first live worker's hello; pass it
+        explicitly to draw the ring before any worker answers.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[Any],
+        replication_factor: int = 2,
+        connect_timeout: float = 2.0,
+        request_timeout: float = 5.0,
+        shard_count: Optional[int] = None,
+    ) -> None:
+        self.keys: Tuple[str, ...] = tuple(
+            _parse_key(w) for w in workers
+        )
+        if not self.keys:
+            raise ValueError("ClusterFederation needs at least one worker")
+        if len(set(self.keys)) != len(self.keys):
+            raise ValueError(f"duplicate worker addresses in {self.keys}")
+        self.replication_factor = max(1, int(replication_factor))
+        self.connect_timeout = connect_timeout
+        self.request_timeout = request_timeout
+        self.shard_count = shard_count
+        self.polls = 0
+        self.scrape_failures = 0
+        self._lock = threading.Lock()
+        self._snapshots: Dict[str, Optional[Dict[str, Any]]] = {
+            key: None for key in self.keys
+        }
+        self._info: Dict[str, Dict[str, Any]] = {key: {} for key in self.keys}
+        self._last_ok: Dict[str, Optional[float]] = {
+            key: None for key in self.keys
+        }
+        self._live: Dict[str, bool] = {key: False for key in self.keys}
+        self._errors: Dict[str, Optional[str]] = {
+            key: None for key in self.keys
+        }
+        self._worker_polls: Dict[str, int] = {key: 0 for key in self.keys}
+        self._worker_failures: Dict[str, int] = {
+            key: 0 for key in self.keys
+        }
+        self._map = None
+        self._poller: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._http_server = None
+
+    # -- scraping ----------------------------------------------------------
+
+    def _scrape(self, key: str) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        """One bounded scrape of one worker: (snapshot, hello info)."""
+        from repro.net.client import RemoteSession
+
+        session = RemoteSession(
+            key,
+            timeout=self.request_timeout,
+            connect_timeout=self.connect_timeout,
+            reader_join_timeout=1.0,
+        )
+        try:
+            snapshot = session.metrics()
+            snapshot.pop("id", None)
+            return snapshot, dict(session.server_info)
+        finally:
+            session.close()
+
+    def poll(self) -> Dict[str, bool]:
+        """One federation round: scrape every worker concurrently.
+
+        Returns ``{worker: scraped_ok}``.  Failures (refused, timed
+        out, mid-frame death) mark the worker not-live; its last good
+        snapshot is kept so the view can still show what it *was*
+        doing, aged by staleness.
+        """
+        budget = self.connect_timeout + (self.request_timeout or 30.0) + 5.0
+        results: Dict[str, bool] = {}
+        with ThreadPoolExecutor(
+            max_workers=len(self.keys),
+            thread_name_prefix="repro-obs-scrape",
+        ) as pool:
+            futures = {
+                key: pool.submit(self._scrape, key) for key in self.keys
+            }
+            for key, future in futures.items():
+                try:
+                    snapshot, info = future.result(budget)
+                except (Exception, _FutureTimeout) as exc:
+                    results[key] = False
+                    with self._lock:
+                        self.scrape_failures += 1
+                        self._worker_polls[key] += 1
+                        self._worker_failures[key] += 1
+                        self._live[key] = False
+                        self._errors[key] = str(exc) or type(exc).__name__
+                else:
+                    results[key] = True
+                    with self._lock:
+                        self._worker_polls[key] += 1
+                        self._snapshots[key] = snapshot
+                        self._info[key] = info
+                        self._last_ok[key] = time.monotonic()
+                        self._live[key] = True
+                        self._errors[key] = None
+                        if (
+                            self.shard_count is None
+                            and info.get("sharded")
+                            and info.get("shard_count")
+                        ):
+                            self.shard_count = int(info["shard_count"])
+        with self._lock:
+            self.polls += 1
+        return results
+
+    # -- background polling ------------------------------------------------
+
+    def start(self, interval: float = 2.0) -> None:
+        """Poll on a daemon thread every ``interval`` seconds until
+        :meth:`stop` (idempotent)."""
+        if self._poller is not None and self._poller.is_alive():
+            return
+        self._stop.clear()
+
+        def _loop() -> None:
+            while not self._stop.is_set():
+                self.poll()
+                self._stop.wait(interval)
+
+        self._poller = threading.Thread(
+            target=_loop, name="repro-obs-poller", daemon=True
+        )
+        self._poller.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._poller is not None:
+            self._poller.join(timeout=30)
+            self._poller = None
+        if self._http_server is not None:
+            self._http_server.shutdown()
+            self._http_server.server_close()
+            self._http_server = None
+
+    close = stop
+
+    def __enter__(self) -> "ClusterFederation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- the ring ----------------------------------------------------------
+
+    def _cluster_map(self):
+        if self.shard_count is None:
+            return None
+        if (
+            self._map is None
+            or self._map.shard_count != self.shard_count
+        ):
+            from repro.net.cluster import ClusterMap
+
+            self._map = ClusterMap(
+                self.keys, self.shard_count, self.replication_factor
+            )
+        return self._map
+
+    # -- the federated view ------------------------------------------------
+
+    def view(self) -> Dict[str, Any]:
+        """The merged cluster view (a plain JSON-safe nested dict)."""
+        now = time.monotonic()
+        with self._lock:
+            snapshots = dict(self._snapshots)
+            info = {k: dict(v) for k, v in self._info.items()}
+            last_ok = dict(self._last_ok)
+            live = dict(self._live)
+            errors = dict(self._errors)
+            worker_polls = dict(self._worker_polls)
+            worker_failures = dict(self._worker_failures)
+        cmap = self._cluster_map()
+        ring = cmap.assignments() if cmap is not None else {}
+        workers: Dict[str, Any] = {}
+        rollup: Dict[str, Any] = {}
+        heat_shards: Dict[str, Dict[str, Any]] = {}
+        worker_load: Dict[str, float] = {}
+        for i, key in enumerate(self.keys):
+            snapshot = snapshots[key]
+            staleness = (
+                None if last_ok[key] is None else now - last_ok[key]
+            )
+            heat = (snapshot or {}).get("heat") or {}
+            load = sum(
+                float(entry.get("queries", 0)) for entry in heat.values()
+            )
+            worker_load[key] = load
+            for shard, entry in heat.items():
+                agg = heat_shards.setdefault(
+                    str(shard),
+                    {"queries": 0, "rows": 0, "seconds": 0.0},
+                )
+                agg["queries"] += int(entry.get("queries", 0))
+                agg["rows"] += int(entry.get("rows", 0))
+                agg["seconds"] += float(entry.get("seconds", 0.0))
+            workers[f"worker[{i}]"] = {
+                "address": key,
+                "live": live[key],
+                "staleness": staleness,
+                "error": errors[key],
+                "polls": worker_polls[key],
+                "failures": worker_failures[key],
+                "db_version": info[key].get("db_version"),
+                "owned_shards": info[key].get("owned_shards"),
+                "ring_shards": sorted(ring.get(key, ())),
+                "heat_queries": load,
+                "server": (snapshot or {}).get("server"),
+                "cluster": (snapshot or {}).get("cluster"),
+                "snapshot": snapshot,
+            }
+            if snapshot is not None:
+                _merge_numeric(rollup, snapshot)
+        for shard, entry in heat_shards.items():
+            if cmap is not None and int(shard) < cmap.shard_count:
+                chain = list(cmap.replicas_for(int(shard)))
+                entry["replicas"] = chain
+                entry["primary"] = chain[0]
+        loads = [worker_load[k] for k in self.keys]
+        mean_load = sum(loads) / len(loads) if loads else 0.0
+        skew = (
+            max(loads) / mean_load if loads and mean_load > 0 else None
+        )
+        return {
+            "workers_total": len(self.keys),
+            "live_workers": sum(1 for key in self.keys if live[key]),
+            "polls": self.polls,
+            "scrape_failures": self.scrape_failures,
+            "shard_count": self.shard_count,
+            "replication_factor": self.replication_factor,
+            "workers": workers,
+            "rollup": rollup,
+            "heat": {
+                "shards": dict(
+                    sorted(heat_shards.items(), key=lambda kv: int(kv[0]))
+                ),
+                "worker_load": worker_load,
+                "skew": skew,
+            },
+        }
+
+    def counters(self) -> Dict[str, Any]:
+        """The ``federation`` collector namespace for a coordinator's
+        own registry (poll counts and liveness; the full view stays
+        behind :meth:`view` -- it is too large for every snapshot)."""
+        with self._lock:
+            return {
+                "workers": len(self.keys),
+                "live_workers": sum(self._live.values()),
+                "polls": self.polls,
+                "scrape_failures": self.scrape_failures,
+            }
+
+    # -- exposition --------------------------------------------------------
+
+    def prometheus_text(
+        self, view: Optional[Dict[str, Any]] = None
+    ) -> str:
+        """The federated view as worker-labelled Prometheus text.
+
+        Unlike :meth:`~repro.obs.metrics.MetricsRegistry.
+        prometheus_text` (one process, no labels), every per-worker
+        family carries a ``worker="host:port"`` label and every heat
+        family a ``shard="i"`` label -- the standard multi-target
+        shape, so one scrape of the coordinator graphs the fleet.
+        """
+        view = view or self.view()
+        lines: List[str] = []
+        for name, value in (
+            ("repro_cluster_workers", view["workers_total"]),
+            ("repro_cluster_live_workers", view["live_workers"]),
+            ("repro_cluster_polls", view["polls"]),
+            ("repro_cluster_scrape_failures", view["scrape_failures"]),
+            ("repro_cluster_shard_count", view["shard_count"] or 0),
+        ):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {value}")
+        seen_types: set = set()
+        for worker in view["workers"].values():
+            label = f'worker="{_escape_label(worker["address"])}"'
+            for name, value in (
+                ("repro_worker_up", int(worker["live"])),
+                (
+                    "repro_worker_staleness_seconds",
+                    (
+                        worker["staleness"]
+                        if worker["staleness"] is not None
+                        else -1
+                    ),
+                ),
+                ("repro_worker_scrape_failures", worker["failures"]),
+                ("repro_worker_heat_queries", worker["heat_queries"]),
+            ):
+                if name not in seen_types:
+                    seen_types.add(name)
+                    lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name}{{{label}}} {value}")
+            if worker["server"]:
+                _flatten_labelled(
+                    lines,
+                    "repro_worker_server",
+                    worker["server"],
+                    label,
+                    seen_types,
+                )
+        for shard, entry in view["heat"]["shards"].items():
+            label = f'shard="{_escape_label(shard)}"'
+            for field in ("queries", "rows", "seconds"):
+                name = f"repro_shard_{field}"
+                if name not in seen_types:
+                    seen_types.add(name)
+                    lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name}{{{label}}} {entry[field]}")
+        return "\n".join(lines) + "\n"
+
+    def serve_http(self, port: int = 0, host: str = "127.0.0.1"):
+        """Expose the labelled exposition on an HTTP port (daemon
+        thread); returns the bound ``(host, port)``.
+
+        Same hygiene contract as the worker endpoint: ``GET``/``HEAD``
+        on ``/metrics`` (or ``/``), the Prometheus content type, 404
+        for anything else.
+        """
+        import http.server
+
+        federation = self
+
+        class _Handler(http.server.BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.0"
+
+            def _answer(self, send_body: bool) -> None:
+                if self.path.split("?")[0] not in ("/metrics", "/"):
+                    body = b"not found\n"
+                    self.send_response(404)
+                    self.send_header("Content-Type", "text/plain")
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    if send_body:
+                        self.wfile.write(body)
+                    return
+                body = federation.prometheus_text().encode("utf-8")
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                if send_body:
+                    self.wfile.write(body)
+
+            def do_GET(self) -> None:
+                self._answer(send_body=True)
+
+            def do_HEAD(self) -> None:
+                self._answer(send_body=False)
+
+            def log_message(self, *args) -> None:  # quiet by design
+                pass
+
+        server = http.server.ThreadingHTTPServer((host, port), _Handler)
+        server.daemon_threads = True
+        self._http_server = server
+        thread = threading.Thread(
+            target=server.serve_forever,
+            name="repro-obs-cluster-http",
+            daemon=True,
+        )
+        thread.start()
+        return server.server_address[:2]
+
+
+# -- the rebalance advisor ---------------------------------------------------
+
+
+def advise(
+    view: Dict[str, Any],
+    heat_skew_threshold: float = 2.0,
+    quarantine_threshold: int = 3,
+    cluster: Optional[Dict[str, Any]] = None,
+) -> List[Dict[str, Any]]:
+    """Concrete rebalance recommendations for a federated view.
+
+    A pure function -- no sockets, no clocks -- over the dict
+    :meth:`ClusterFederation.view` returns (or any synthetic one a
+    test builds), so the decision layer is unit-testable without a
+    fleet.  Three signals, in priority order:
+
+    1. **liveness** -- a down worker should leave the membership:
+       ``set_workers`` over the live workers, naming the shards that
+       just lost a replica;
+    2. **quarantine rate** -- a live worker a coordinator keeps
+       quarantining (``cluster``: a ``ReplicatedExecutor``'s counters
+       dict with ``per_worker`` attribution) is flagged for removal
+       before it fails outright;
+    3. **heat skew** -- when the busiest worker carries more than
+       ``heat_skew_threshold`` times the mean load, move its hottest
+       shard's serving duty to the coolest live worker
+       (``replica-chain``).
+
+    Returns a list of ``{"action", ..., "reason"}`` dicts, most urgent
+    first; empty means the cluster looks healthy.
+    """
+    recommendations: List[Dict[str, Any]] = []
+    workers = view.get("workers") or {}
+    states = list(workers.values())
+    live = [w["address"] for w in states if w.get("live")]
+    down = [w for w in states if not w.get("live")]
+    for worker in down:
+        shards = list(
+            worker.get("ring_shards")
+            or worker.get("owned_shards")
+            or ()
+        )
+        age = worker.get("staleness")
+        aged = (
+            f"stale for {age:.1f}s"
+            if isinstance(age, (int, float))
+            else "never scraped"
+        )
+        if not live:
+            recommendations.append(
+                {
+                    "action": "investigate",
+                    "worker": worker["address"],
+                    "shards": shards,
+                    "reason": (
+                        f"worker {worker['address']} is down ({aged}) "
+                        f"and no live worker remains to take over"
+                    ),
+                }
+            )
+            continue
+        recommendations.append(
+            {
+                "action": "set_workers",
+                "workers": list(live),
+                "drop": worker["address"],
+                "shards": shards,
+                "reason": (
+                    f"worker {worker['address']} is down ({aged}); "
+                    f"shards {shards} are one replica short until the "
+                    f"membership drops it"
+                ),
+            }
+        )
+    per_worker = (cluster or view.get("rollup", {}).get("cluster") or {}).get(
+        "per_worker"
+    ) or {}
+    for address, counters in sorted(per_worker.items()):
+        quarantines = int(counters.get("quarantines", 0))
+        if quarantines < quarantine_threshold:
+            continue
+        if any(r.get("drop") == address for r in recommendations):
+            continue  # already recommended out on liveness
+        remaining = [k for k in live if k != address]
+        if not remaining:
+            continue
+        recommendations.append(
+            {
+                "action": "set_workers",
+                "workers": remaining,
+                "drop": address,
+                "shards": next(
+                    (
+                        list(w.get("ring_shards") or ())
+                        for w in states
+                        if w["address"] == address
+                    ),
+                    [],
+                ),
+                "reason": (
+                    f"worker {address} was quarantined {quarantines}x "
+                    f"by the coordinator; remove it from the membership "
+                    f"before it fails outright"
+                ),
+            }
+        )
+    heat = view.get("heat") or {}
+    worker_load = heat.get("worker_load") or {}
+    live_loads = {k: worker_load.get(k, 0.0) for k in live}
+    if len(live_loads) >= 2:
+        mean = sum(live_loads.values()) / len(live_loads)
+        hottest = max(live_loads, key=lambda k: live_loads[k])
+        if mean > 0 and live_loads[hottest] / mean >= heat_skew_threshold:
+            coolest = min(live_loads, key=lambda k: live_loads[k])
+            shards = heat.get("shards") or {}
+            hot_shards = sorted(
+                (
+                    (shard, entry)
+                    for shard, entry in shards.items()
+                    if hottest in (entry.get("replicas") or ())
+                    or not entry.get("replicas")
+                ),
+                key=lambda kv: kv[1].get("queries", 0),
+                reverse=True,
+            )
+            if hot_shards and coolest != hottest:
+                shard = hot_shards[0][0]
+                recommendations.append(
+                    {
+                        "action": "replica-chain",
+                        "shard": int(shard),
+                        "from": hottest,
+                        "to": coolest,
+                        "reason": (
+                            f"worker {hottest} carries "
+                            f"{live_loads[hottest]:.0f} of a mean "
+                            f"{mean:.1f} queries "
+                            f"({live_loads[hottest] / mean:.1f}x skew); "
+                            f"serve shard {shard} from {coolest} instead"
+                        ),
+                    }
+                )
+    return recommendations

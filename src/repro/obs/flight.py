@@ -1,0 +1,151 @@
+"""The fault flight recorder: a bounded ring of structured events.
+
+Counters say *how often* the cluster misbehaved; they cannot say in
+what order, to whom, or what the coordinator did about it.  The flight
+recorder keeps that narrative: every notable fault-handling decision
+-- a quarantine opening or closing, an ownership miss, a retry chain
+running dry, a degrade-to-local, a rebalance -- is appended as one
+plain JSON-safe dict ``{"seq", "ts", "event", ...fields}`` to a
+bounded in-memory ring.  A post-mortem then *names what the cluster
+did and when* instead of reconstructing it from counter deltas.
+
+Two exits:
+
+- **on demand** -- the ring travels inside the owner's registry
+  snapshot (the ``flight`` collector namespace), so ``repro stats
+  --connect HOST:PORT --events`` dumps a live process's events as
+  JSONL without any new wire frame;
+- **automatically on loud faults** -- events whose name is in
+  :attr:`FlightRecorder.LOUD` (degrade-to-local, retry exhaustion)
+  rewrite the whole ring to ``path`` the moment they happen, so the
+  evidence survives even a coordinator that dies right after
+  degrading.
+
+Recording is a deque append under a lock -- cheap enough to sit on
+every fault path, which are never hot paths.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """A bounded, thread-safe ring of structured fault events.
+
+    Parameters
+    ----------
+    capacity:
+        Ring bound; older events are dropped (and counted in
+        ``dropped``) once exceeded.
+    path:
+        When set, a *loud* event triggers an automatic dump: the whole
+        ring is rewritten to this file as JSON lines.
+    loud:
+        Event names that trigger the automatic dump.  Defaults to
+        :attr:`LOUD`.
+    """
+
+    #: Events that must never be silent: they rewrite ``path``
+    #: immediately when recorded.
+    LOUD = frozenset({"degrade-to-local", "retry-exhausted"})
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        path: Optional[str] = None,
+        loud: Optional[frozenset] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.path = path
+        self.loud = frozenset(loud) if loud is not None else self.LOUD
+        self.recorded = 0
+        self.dropped = 0
+        self.auto_dumps = 0
+        self._seq = 0
+        self._ring: deque = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+
+    def record(self, event: str, **fields: Any) -> Dict[str, Any]:
+        """Append one event; returns the stored record.
+
+        ``fields`` must be JSON-safe (they travel in ``metrics`` wire
+        frames verbatim).
+        """
+        with self._lock:
+            self._seq += 1
+            record: Dict[str, Any] = {
+                "seq": self._seq,
+                "ts": time.time(),
+                "event": event,
+            }
+            record.update(fields)
+            if len(self._ring) == self.capacity:
+                self.dropped += 1
+            self._ring.append(record)
+            self.recorded += 1
+            dump_to = self.path if event in self.loud else None
+        if dump_to is not None:
+            try:
+                self.dump(dump_to)
+                self.auto_dumps += 1
+            except OSError:
+                pass  # losing the dump must never break fault handling
+        return record
+
+    def events(self) -> List[Dict[str, Any]]:
+        """The retained events, oldest first (copies are cheap: the
+        ring is bounded)."""
+        with self._lock:
+            return list(self._ring)
+
+    def tail(self, n: int = 10) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._ring)[-n:]
+
+    def dump(self, path: Optional[str] = None) -> int:
+        """Write the retained events as JSON lines; returns the count.
+
+        ``path=None`` uses the recorder's configured path.  The file is
+        rewritten, not appended: the ring *is* the retained history,
+        and a rewrite keeps the dump self-consistent after wraparound.
+        """
+        target = path or self.path
+        if target is None:
+            raise ValueError("no dump path configured")
+        events = self.events()
+        with open(target, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(
+                    json.dumps(event, sort_keys=True, default=str) + "\n"
+                )
+        return len(events)
+
+    def dump_text(self) -> str:
+        """The retained events as one JSONL string (CLI output)."""
+        return "".join(
+            json.dumps(event, sort_keys=True, default=str) + "\n"
+            for event in self.events()
+        )
+
+    def counters(self) -> Dict[str, Any]:
+        """The ``flight`` collector namespace: counters plus the ring
+        itself (a list -- identity data the Prometheus flattener
+        skips, but ``stats``/``metrics`` frames carry verbatim)."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "recorded": self.recorded,
+                "dropped": self.dropped,
+                "retained": len(self._ring),
+                "auto_dumps": self.auto_dumps,
+                "events": list(self._ring),
+            }

@@ -88,3 +88,71 @@ def session_lines(
             f"{slow['threshold']:g}s (of {slow['observed']} observed)"
         )
     return lines
+
+
+def cluster_lines(
+    view: Dict[str, Any],
+    advice: Optional[List[Dict[str, Any]]] = None,
+) -> List[str]:
+    """The ``repro cluster-status`` rendering of a federated view.
+
+    ``view`` is :meth:`repro.obs.cluster.ClusterFederation.view`
+    output; ``advice`` the matching :func:`repro.obs.cluster.advise`
+    result.  One worker line each (liveness, staleness age, load,
+    the key server counters), then the per-shard heat map against
+    the replica chains, then the advisor's recommendations.
+    """
+    lines: List[str] = []
+    lines.append(
+        f"cluster: {view['live_workers']}/{view['workers_total']} "
+        f"workers live, "
+        f"{view['shard_count'] if view['shard_count'] is not None else '?'} "
+        f"shards, R={view['replication_factor']} "
+        f"(poll {view['polls']}, {view['scrape_failures']} scrape "
+        f"failures)"
+    )
+    for name, worker in view["workers"].items():
+        age = worker["staleness"]
+        aged = "never scraped" if age is None else f"age {age:.1f}s"
+        status = "live" if worker["live"] else f"DOWN ({aged})"
+        line = f"{name} {worker['address']}: {status}"
+        if worker["live"]:
+            line += f", {aged}"
+        srv = worker.get("server") or {}
+        if srv:
+            line += (
+                f", {srv.get('requests', 0)} requests, "
+                f"{srv.get('ownership_rejections', 0)} ownership "
+                f"rejections"
+            )
+        line += f", heat {worker['heat_queries']:.0f} queries"
+        shards = worker.get("ring_shards")
+        if shards:
+            line += f", ring shards {shards}"
+        if not worker["live"] and worker.get("error"):
+            line += f" [{worker['error']}]"
+        lines.append(line)
+    shards = (view.get("heat") or {}).get("shards") or {}
+    if shards:
+        lines.append("heat map (shard: queries rows seconds replicas):")
+        for shard, entry in shards.items():
+            chain = entry.get("replicas")
+            suffix = f" -> {chain}" if chain else ""
+            lines.append(
+                f"  shard {shard}: {entry['queries']} queries, "
+                f"{entry['rows']} rows, {entry['seconds']:.3f}s"
+                f"{suffix}"
+            )
+        skew = (view.get("heat") or {}).get("skew")
+        if skew is not None:
+            lines.append(f"  load skew: {skew:.2f}x mean")
+    if advice is not None:
+        if advice:
+            lines.append("advisor:")
+            for item in advice:
+                lines.append(
+                    f"  [{item['action']}] {item['reason']}"
+                )
+        else:
+            lines.append("advisor: cluster looks healthy")
+    return lines

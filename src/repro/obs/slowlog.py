@@ -12,6 +12,7 @@ could: *why was this particular query slow?*
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from collections import deque
@@ -23,7 +24,12 @@ class SlowQueryLog:
 
     ``threshold=0.0`` logs everything (useful in tests and when
     hunting a rare slow query); ``path`` additionally appends each
-    entry as one JSON line.
+    entry as one JSON line.  ``max_bytes`` caps the file with a
+    keep-one rotation policy: when appending the next line would cross
+    the cap, the file moves to ``path + ".1"`` (replacing any previous
+    rotation) and a fresh file starts -- so a long-running server
+    holds at most ~2x ``max_bytes`` of slow-log on disk, and the
+    freshest entries are always in ``path``.
     """
 
     def __init__(
@@ -31,12 +37,15 @@ class SlowQueryLog:
         threshold: float = 1.0,
         path: Optional[str] = None,
         capacity: int = 128,
+        max_bytes: Optional[int] = None,
     ) -> None:
         self.threshold = float(threshold)
         self.path = path
+        self.max_bytes = int(max_bytes) if max_bytes else None
         self.entries: deque = deque(maxlen=capacity)
         self.observed = 0
         self.recorded = 0
+        self.rotations = 0
         self._lock = threading.Lock()
 
     def observe(
@@ -70,9 +79,23 @@ class SlowQueryLog:
         if path is not None:
             line = json.dumps(entry, sort_keys=True, default=str)
             with self._lock:
+                self._maybe_rotate(path, len(line) + 1)
                 with open(path, "a", encoding="utf-8") as handle:
                     handle.write(line + "\n")
         return entry
+
+    def _maybe_rotate(self, path: str, incoming: int) -> None:
+        """Rotate ``path`` aside (keep-one) if appending ``incoming``
+        bytes would cross ``max_bytes``.  Caller holds the lock."""
+        if self.max_bytes is None:
+            return
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            return  # no file yet -- nothing to rotate
+        if size > 0 and size + incoming > self.max_bytes:
+            os.replace(path, path + ".1")
+            self.rotations += 1
 
     def note_fast(self) -> None:
         """Count a below-threshold query the caller pre-filtered.
@@ -95,4 +118,5 @@ class SlowQueryLog:
                 "observed": self.observed,
                 "recorded": self.recorded,
                 "retained": len(self.entries),
+                "rotations": self.rotations,
             }

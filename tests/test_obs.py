@@ -155,6 +155,7 @@ def test_slow_log_threshold_and_jsonl_file(tmp_path):
         "observed": 4,
         "recorded": 3,
         "retained": 2,  # ring capacity
+        "rotations": 0,
     }
     assert [e["sql"] for e in log.tail()] == ["slow1", "slow2"]
     lines = [
@@ -163,6 +164,84 @@ def test_slow_log_threshold_and_jsonl_file(tmp_path):
     ]
     assert len(lines) == 3  # the file keeps everything the ring drops
     assert lines[0]["origin"] == {"id": "t"}
+
+
+def test_slow_log_rotation_boundary(tmp_path):
+    """Keep-one rotation: the cap moves the file to PATH.1 exactly
+    when the next line would cross it, and a second rotation
+    overwrites the first rotated file."""
+    import os
+
+    path = str(tmp_path / "slow.jsonl")
+    log = SlowQueryLog(threshold=0.0, path=path, max_bytes=400)
+    log.observe("first", "fdb", 1.0)
+    size_of_one = os.path.getsize(path)
+    assert 0 < size_of_one <= 400
+    # Fill right up to (but not over) the cap: no rotation yet.
+    while os.path.getsize(path) + size_of_one <= 400:
+        log.observe("first", "fdb", 1.0)
+    assert log.rotations == 0
+    assert not os.path.exists(path + ".1")
+    full_size = os.path.getsize(path)
+    # The boundary entry: appending would cross the cap, so the full
+    # file rotates aside and a fresh one starts with just this entry.
+    log.observe("boundary", "fdb", 1.0)
+    assert log.rotations == 1
+    assert os.path.getsize(path + ".1") == full_size
+    fresh = open(path, encoding="utf-8").read().splitlines()
+    assert len(fresh) == 1
+    assert json.loads(fresh[0])["sql"] == "boundary"
+    # Keep-one: the next rotation replaces PATH.1, never PATH.2.
+    while log.rotations == 1:
+        log.observe("again", "fdb", 1.0)
+    assert log.counters()["rotations"] == 2
+    assert not os.path.exists(path + ".2")
+    rotated = open(path + ".1", encoding="utf-8").read().splitlines()
+    assert all(json.loads(line)["sql"] != "first" for line in rotated)
+
+
+# -- Prometheus endpoint hygiene ---------------------------------------------
+
+
+def test_prometheus_endpoint_http_hygiene():
+    """The metrics endpoint answers HEAD (headers only), sends the
+    Prometheus content type, and 404s unknown paths instead of
+    hanging or resetting."""
+    import http.client
+
+    session = QuerySession(_database(93), encoding="arena")
+    with ServerThread(session, metrics_port=0) as server:
+        host, port = server.server.metrics_address
+
+        def request(method, target):
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            try:
+                conn.request(method, target)
+                response = conn.getresponse()
+                return response.status, dict(response.headers), response.read()
+            finally:
+                conn.close()
+
+        status, headers, body = request("GET", "/metrics")
+        assert status == 200
+        assert "text/plain; version=0.0.4" in headers["Content-Type"]
+        assert b"repro_server_requests" in body
+        # HEAD: same status and headers, no body, connection closes
+        # cleanly (health checkers probe this way).
+        status, headers, body = request("HEAD", "/metrics")
+        assert status == 200
+        assert "text/plain; version=0.0.4" in headers["Content-Type"]
+        assert int(headers["Content-Length"]) > 0
+        assert body == b""
+        # Unknown path: a clean 404 with a body, not a hang or reset.
+        status, _, body = request("GET", "/nope")
+        assert status == 404
+        assert body == b"not found\n"
+        # Unknown method: also a 404, and the server survives it.
+        status, _, _ = request("POST", "/metrics")
+        assert status == 404
+        status, _, _ = request("GET", "/metrics")
+        assert status == 200  # still serving
 
 
 # -- session integration -----------------------------------------------------
